@@ -1,0 +1,11 @@
+"""Extra ablation — loss-adjuster alpha sweep."""
+
+from repro.bench import ablation_alpha
+
+
+def test_ablation_alpha(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: ablation_alpha(bench_scale), rounds=1, iterations=1
+    )
+    write_result("ablation_alpha", result["table"])
+    assert result["table"]

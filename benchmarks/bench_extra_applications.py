@@ -1,0 +1,11 @@
+"""Extension — end-to-end plan selection and scheduling."""
+
+from repro.bench import apps_end_to_end
+
+
+def test_apps_end_to_end(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: apps_end_to_end(bench_scale), rounds=1, iterations=1
+    )
+    write_result("apps_end_to_end", result["table"])
+    assert result["table"]

@@ -1,0 +1,11 @@
+"""Extra ablation — attention width (lightweight-model claim)."""
+
+from repro.bench import ablation_capacity
+
+
+def test_ablation_capacity(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: ablation_capacity(bench_scale), rounds=1, iterations=1
+    )
+    write_result("ablation_capacity", result["table"])
+    assert result["table"]

@@ -1,0 +1,11 @@
+"""Extension — cardinality knowledge: DACE vs DACE-D (SPN) vs DACE-A."""
+
+from repro.bench import cardinality_knowledge
+
+
+def test_cardinality_knowledge(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: cardinality_knowledge(bench_scale), rounds=1, iterations=1
+    )
+    write_result("cardinality_knowledge", result["table"])
+    assert result["table"]

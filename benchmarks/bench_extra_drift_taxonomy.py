@@ -1,0 +1,11 @@
+"""Extension — the Fig 1 drift taxonomy (Drift I-V), measured."""
+
+from repro.bench import drift_taxonomy
+
+
+def test_drift_taxonomy(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: drift_taxonomy(bench_scale), rounds=1, iterations=1
+    )
+    write_result("drift_taxonomy", result["table"])
+    assert result["table"]

@@ -1,0 +1,11 @@
+"""Extension — deep-ensemble accuracy and uncertainty."""
+
+from repro.bench import ensemble_uncertainty
+
+
+def test_ensemble_uncertainty(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: ensemble_uncertainty(bench_scale), rounds=1, iterations=1
+    )
+    write_result("ensemble_uncertainty", result["table"])
+    assert result["table"]

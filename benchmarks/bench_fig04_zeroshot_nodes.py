@@ -1,0 +1,11 @@
+"""Fig 4 — Zero-Shot q-error by plan node count (motivation)."""
+
+from repro.bench import fig04_zeroshot_nodes
+
+
+def test_fig04_zeroshot_nodes(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: fig04_zeroshot_nodes(bench_scale), rounds=1, iterations=1
+    )
+    write_result("fig04_zeroshot_nodes", result["table"])
+    assert result["table"]

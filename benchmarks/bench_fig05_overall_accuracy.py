@@ -1,0 +1,11 @@
+"""Fig 5 — leave-one-out accuracy on workloads 1 and 2."""
+
+from repro.bench import fig05_overall_accuracy
+
+
+def test_fig05_overall_accuracy(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: fig05_overall_accuracy(bench_scale), rounds=1, iterations=1
+    )
+    write_result("fig05_overall_accuracy", result["table"])
+    assert result["table"]

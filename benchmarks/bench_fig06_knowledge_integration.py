@@ -1,0 +1,11 @@
+"""Fig 6 — WDMs with vs without the DACE encoder."""
+
+from repro.bench import fig06_knowledge_integration
+
+
+def test_fig06_knowledge_integration(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: fig06_knowledge_integration(bench_scale), rounds=1, iterations=1
+    )
+    write_result("fig06_knowledge_integration", result["table"])
+    assert result["table"]

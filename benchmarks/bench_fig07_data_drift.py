@@ -1,0 +1,11 @@
+"""Fig 7 — robustness under TPC-H data drift."""
+
+from repro.bench import fig07_data_drift
+
+
+def test_fig07_data_drift(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: fig07_data_drift(bench_scale), rounds=1, iterations=1
+    )
+    write_result("fig07_data_drift", result["table"])
+    assert result["table"]

@@ -1,0 +1,11 @@
+"""Fig 8 — accuracy by number of training databases."""
+
+from repro.bench import fig08_training_databases
+
+
+def test_fig08_training_databases(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: fig08_training_databases(bench_scale), rounds=1, iterations=1
+    )
+    write_result("fig08_training_databases", result["table"])
+    assert result["table"]

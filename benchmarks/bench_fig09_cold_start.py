@@ -1,0 +1,11 @@
+"""Fig 9 — cold start, MSCN vs DACE-MSCN."""
+
+from repro.bench import fig09_cold_start
+
+
+def test_fig09_cold_start(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: fig09_cold_start(bench_scale), rounds=1, iterations=1
+    )
+    write_result("fig09_cold_start", result["table"])
+    assert result["table"]

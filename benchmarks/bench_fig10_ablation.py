@@ -1,0 +1,11 @@
+"""Fig 10 — tree attention / loss adjuster ablation."""
+
+from repro.bench import fig10_ablation
+
+
+def test_fig10_ablation(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: fig10_ablation(bench_scale), rounds=1, iterations=1
+    )
+    write_result("fig10_ablation", result["table"])
+    assert result["table"]

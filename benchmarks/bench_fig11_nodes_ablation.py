@@ -1,0 +1,11 @@
+"""Fig 11 — plan-size robustness of the loss adjuster."""
+
+from repro.bench import fig11_nodes_ablation
+
+
+def test_fig11_nodes_ablation(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: fig11_nodes_ablation(bench_scale), rounds=1, iterations=1
+    )
+    write_result("fig11_nodes_ablation", result["table"])
+    assert result["table"]

@@ -1,0 +1,11 @@
+"""Fig 12 — estimated vs actual cardinality input."""
+
+from repro.bench import fig12_actual_cardinality
+
+
+def test_fig12_actual_cardinality(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: fig12_actual_cardinality(bench_scale), rounds=1, iterations=1
+    )
+    write_result("fig12_actual_cardinality", result["table"])
+    assert result["table"]

@@ -1,0 +1,11 @@
+"""Tab I — workload-3 q-error for every model."""
+
+from repro.bench import tab1_workload3
+
+
+def test_tab1_workload3(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: tab1_workload3(bench_scale), rounds=1, iterations=1
+    )
+    write_result("tab1_workload3", result["table"])
+    assert result["table"]

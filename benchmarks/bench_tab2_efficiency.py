@@ -1,0 +1,11 @@
+"""Tab II — model size and train/infer throughput."""
+
+from repro.bench import tab2_efficiency
+
+
+def test_tab2_efficiency(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: tab2_efficiency(bench_scale), rounds=1, iterations=1
+    )
+    write_result("tab2_efficiency", result["table"])
+    assert result["table"]

@@ -1,0 +1,44 @@
+"""Benchmark configuration.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` (CI-sized),
+``default`` (laptop-scale, the default), or ``paper`` (the paper's full
+sizes; hours).  Each benchmark regenerates one of the paper's tables or
+figures, times the end-to-end run via pytest-benchmark, prints the result
+table, and writes it to ``benchmarks/results/<experiment>.txt``.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import DEFAULT, PAPER, SMOKE
+
+_SCALES = {"smoke": SMOKE, "default": DEFAULT, "paper": PAPER}
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def write_result(bench_scale):
+    # Results are namespaced by scale so a smoke run never overwrites the
+    # default-scale numbers EXPERIMENTS.md records.
+    directory = os.path.join(RESULTS_DIR, bench_scale.name)
+    os.makedirs(directory, exist_ok=True)
+
+    def _write(experiment: str, table: str) -> None:
+        path = os.path.join(directory, f"{experiment}.txt")
+        with open(path, "w") as handle:
+            handle.write(table + "\n")
+        print(f"\n{table}\n[written to {path}]")
+
+    return _write

@@ -1,0 +1,49 @@
+"""Baseline cost-estimation models (paper Sec. V, "Baselines").
+
+Within-database models (WDMs):
+
+- :class:`~repro.baselines.mscn.MSCNModel` — query-driven set-convolution.
+- :class:`~repro.baselines.qppnet.QPPNetModel` — per-node-type neural units
+  evaluated bottom-up, trained on every sub-plan (information redundancy).
+- :class:`~repro.baselines.tpool.TPoolModel` — tree pooling with multi-task
+  (cost + cardinality) heads.
+- :class:`~repro.baselines.queryformer.QueryFormerModel` — an 8-layer
+  transformer with height embeddings, tree-bias attention, and a super node.
+
+Across-database models (ADMs):
+
+- :class:`~repro.baselines.zeroshot.ZeroShotModel` — node-type-specific
+  MLPs with bottom-up message passing.
+
+Non-learned:
+
+- :class:`~repro.baselines.postgres.PostgresCostBaseline` — a linear
+  correction of the optimizer's cost (the paper's "PostgreSQL" rows).
+
+Knowledge integration (paper eq. 9):
+
+- :class:`~repro.baselines.hybrid.DACEMSCNModel`,
+  :class:`~repro.baselines.hybrid.DACEQueryFormerModel` — WDMs consuming a
+  frozen pre-trained DACE's plan embeddings.
+"""
+
+from repro.baselines.base import CostEstimatorBase
+from repro.baselines.postgres import PostgresCostBaseline
+from repro.baselines.mscn import MSCNModel
+from repro.baselines.zeroshot import ZeroShotModel
+from repro.baselines.qppnet import QPPNetModel
+from repro.baselines.tpool import TPoolModel
+from repro.baselines.queryformer import QueryFormerModel
+from repro.baselines.hybrid import DACEMSCNModel, DACEQueryFormerModel
+
+__all__ = [
+    "CostEstimatorBase",
+    "PostgresCostBaseline",
+    "MSCNModel",
+    "ZeroShotModel",
+    "QPPNetModel",
+    "TPoolModel",
+    "QueryFormerModel",
+    "DACEMSCNModel",
+    "DACEQueryFormerModel",
+]

@@ -1,0 +1,49 @@
+"""Common interface and helpers shared by all cost estimators."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.featurize.encoder import LABEL_EPS_MS
+from repro.metrics.qerror import QErrorSummary, qerror_summary
+from repro.workloads.dataset import PlanDataset
+
+
+class CostEstimatorBase:
+    """fit / predict_ms / evaluate interface every model implements."""
+
+    name = "base"
+
+    def fit(self, train: PlanDataset) -> "CostEstimatorBase":
+        raise NotImplementedError
+
+    def predict_ms(self, test: PlanDataset) -> np.ndarray:
+        raise NotImplementedError
+
+    def evaluate(self, test: PlanDataset) -> QErrorSummary:
+        return qerror_summary(self.predict_ms(test), test.latencies())
+
+    def num_parameters(self) -> int:
+        return 0
+
+    def size_mb(self) -> float:
+        """float32 size of the parameters, as the paper's Tab II reports."""
+        return 4 * self.num_parameters() / 1e6
+
+
+def log_labels(dataset: PlanDataset) -> np.ndarray:
+    """Root log-latency labels for a dataset."""
+    return np.log(np.maximum(dataset.latencies(), LABEL_EPS_MS))
+
+
+def batch_indices(
+    count: int, batch_size: int, rng: Optional[np.random.Generator] = None
+):
+    """Yield shuffled batch index arrays covering range(count)."""
+    order = np.arange(count)
+    if rng is not None:
+        order = rng.permutation(count)
+    for start in range(0, count, batch_size):
+        yield order[start:start + batch_size]

@@ -1,0 +1,98 @@
+"""Knowledge integration: DACE as a pre-trained encoder for WDMs (eq. 9).
+
+``DACE-MSCN`` and ``DACE-QueryFormer`` wrap the corresponding WDM and a
+*frozen*, pre-trained DACE.  At train and inference time the DACE embedding
+``w_E`` (the 64-dim MLP hidden state of the plan's root) is computed for
+every plan and concatenated into the WDM's final layer input.  The WDM
+trains normally; DACE's weights never change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import CostEstimatorBase
+from repro.baselines.mscn import MSCNModel
+from repro.baselines.queryformer import QueryFormerModel
+from repro.catalog.datagen import Database
+from repro.core.estimator import DACE
+from repro.workloads.dataset import PlanDataset
+
+
+class DACEMSCNModel(CostEstimatorBase):
+    """MSCN + frozen DACE plan embeddings."""
+
+    name = "DACE-MSCN"
+
+    def __init__(
+        self,
+        database: Database,
+        dace: DACE,
+        hidden: int = 128,
+        epochs: int = 40,
+        batch_size: int = 128,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        self.dace = dace
+        self.mscn = MSCNModel(
+            database,
+            hidden=hidden,
+            context_dim=dace.embedding_dim,
+            epochs=epochs,
+            batch_size=batch_size,
+            lr=lr,
+            seed=seed,
+        )
+
+    def fit(self, train: PlanDataset) -> "DACEMSCNModel":
+        context = self.dace.embed_dataset(train)
+        self.mscn.fit(train, context=context)
+        return self
+
+    def predict_ms(self, test: PlanDataset) -> np.ndarray:
+        context = self.dace.embed_dataset(test)
+        return self.mscn.predict_ms(test, context=context)
+
+    def num_parameters(self) -> int:
+        # The WDM's own parameters plus the frozen encoder it must ship with.
+        return self.mscn.num_parameters() + self.dace.num_parameters()
+
+
+class DACEQueryFormerModel(CostEstimatorBase):
+    """QueryFormer + frozen DACE plan embeddings."""
+
+    name = "DACE-QueryFormer"
+
+    def __init__(
+        self,
+        dace: DACE,
+        d_model: int = 64,
+        n_layers: int = 8,
+        epochs: int = 30,
+        batch_size: int = 64,
+        lr: float = 5e-4,
+        seed: int = 0,
+    ) -> None:
+        self.dace = dace
+        self.queryformer = QueryFormerModel(
+            d_model=d_model,
+            n_layers=n_layers,
+            context_dim=dace.embedding_dim,
+            epochs=epochs,
+            batch_size=batch_size,
+            lr=lr,
+            seed=seed,
+        )
+
+    def fit(self, train: PlanDataset) -> "DACEQueryFormerModel":
+        context = self.dace.embed_dataset(train)
+        self.queryformer.fit(train, context=context)
+        return self
+
+    def predict_ms(self, test: PlanDataset) -> np.ndarray:
+        context = self.dace.embed_dataset(test)
+        return self.queryformer.predict_ms(test, context=context)
+
+    def num_parameters(self) -> int:
+        return self.queryformer.num_parameters() + self.dace.num_parameters()

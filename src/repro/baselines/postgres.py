@@ -1,0 +1,44 @@
+"""The "PostgreSQL" baseline: a linear correction of the optimizer cost.
+
+The paper (Sec. V-B): "For PostgreSQL, the estimated cost is not in the same
+units as the execution time, so we processed it with a linear model as the
+execution time predicted by PostgreSQL."  This is that linear model: a
+log-log least-squares fit from the plan's total estimated cost to latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import CostEstimatorBase, log_labels
+from repro.workloads.dataset import PlanDataset
+
+
+class PostgresCostBaseline(CostEstimatorBase):
+    """latency ≈ exp(a * log(cost + 1) + b), fit by least squares."""
+
+    name = "PostgreSQL"
+
+    def __init__(self) -> None:
+        self.coefficients: np.ndarray | None = None
+
+    @staticmethod
+    def _design(costs: np.ndarray) -> np.ndarray:
+        return np.vstack([np.log1p(costs), np.ones_like(costs)]).T
+
+    def fit(self, train: PlanDataset) -> "PostgresCostBaseline":
+        if len(train) < 2:
+            raise ValueError("need at least 2 samples to fit the correction")
+        design = self._design(train.est_costs())
+        self.coefficients, *_ = np.linalg.lstsq(
+            design, log_labels(train), rcond=None
+        )
+        return self
+
+    def predict_ms(self, test: PlanDataset) -> np.ndarray:
+        if self.coefficients is None:
+            raise RuntimeError("baseline must be fit before predicting")
+        return np.exp(self._design(test.est_costs()) @ self.coefficients)
+
+    def num_parameters(self) -> int:
+        return 2

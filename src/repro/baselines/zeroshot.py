@@ -1,0 +1,170 @@
+"""Zero-Shot (Hilprecht & Binnig, VLDB 2022) — the across-database baseline.
+
+Transforms the query plan into a directed graph and learns **node-type-
+specific MLPs**; inference propagates messages bottom-up: a node's hidden
+state is an MLP (chosen by its node type) of its own features concatenated
+with the sum of its children's hidden states.  A readout MLP on the root
+predicts log-latency.  Trained on the root loss only.
+
+Faithful simplifications: the original's per-feature embeddings of data
+characteristics (columns, literals) are replaced by the extended node
+encoding our substrate exposes (node type + scaled DBMS estimates + the
+workload-dependent width/predicate/literal features); the message function
+and training protocol are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import CostEstimatorBase
+from repro.baselines.common import TreeLevelBatch, build_tree_levels
+from repro.engine.plan import NODE_TYPES
+from repro.featurize.catcher import CaughtPlan, catch_plan
+from repro.featurize.encoder import PlanEncoder
+from repro.nn import Adam, Module, Tensor, no_grad
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.losses import log_qerror_loss
+from repro.workloads.dataset import PlanDataset
+
+
+class _TypedMessagePassing(Module):
+    """Shared machinery: per-node-type MLPs applied level by level."""
+
+    def __init__(self, input_dim: int, hidden: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.type_mlps = [
+            Sequential(
+                Linear(input_dim + hidden, hidden, rng=rng),
+                ReLU(),
+                Linear(hidden, hidden, rng=rng),
+                ReLU(),
+            )
+            for _ in NODE_TYPES
+        ]
+
+    def propagate(self, batch: TreeLevelBatch) -> Tensor:
+        """Bottom-up message passing; returns root hidden states (B, hidden)."""
+        deeper_hidden: Optional[Tensor] = None
+        for level in batch.levels:
+            n = level.num_nodes
+            if deeper_hidden is None or level.child_sum is None:
+                child_agg = Tensor(np.zeros((n, self.hidden)))
+            else:
+                child_agg = Tensor(level.child_sum) @ deeper_hidden
+            inputs = Tensor.concat(
+                [Tensor(level.features), child_agg], axis=1
+            )
+            # Run each node-type group through its own MLP, then restore
+            # the level's row order (differentiable gather).
+            groups: List[Tensor] = []
+            group_rows: List[np.ndarray] = []
+            for type_id in np.unique(level.node_type_ids):
+                rows = np.nonzero(level.node_type_ids == type_id)[0]
+                groups.append(self.type_mlps[int(type_id)](inputs[rows]))
+                group_rows.append(rows)
+            stacked = Tensor.concat(groups, axis=0)
+            inverse = np.argsort(np.concatenate(group_rows))
+            deeper_hidden = stacked[inverse]
+        return deeper_hidden[batch.root_order]
+
+
+class _ZeroShotNet(_TypedMessagePassing):
+    def __init__(self, input_dim: int, hidden: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__(input_dim, hidden, rng)
+        self.readout = Sequential(
+            Linear(hidden, hidden // 2, rng=rng),
+            ReLU(),
+            Linear(hidden // 2, 1, rng=rng),
+        )
+
+    def forward(self, batch: TreeLevelBatch) -> Tensor:
+        roots = self.propagate(batch)
+        out = self.readout(roots)
+        return out.reshape(out.shape[0])
+
+    def embed(self, batch: TreeLevelBatch) -> np.ndarray:
+        return self.propagate(batch).data.copy()
+
+
+class ZeroShotModel(CostEstimatorBase):
+    """The Zero-Shot cost model with the fit/predict interface."""
+
+    name = "Zero-Shot"
+
+    def __init__(
+        self,
+        hidden: int = 128,
+        epochs: int = 30,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        # Zero-Shot's original featurization is far richer than DACE's
+        # 18-dim encoding; the extra (workload-dependent) features stand
+        # in for that.
+        self.encoder = PlanEncoder(extra_features=True)
+        self.net = _ZeroShotNet(self.encoder.dim, hidden, rng)
+
+    # ------------------------------------------------------------------ #
+    def _batches(self, plans: Sequence[CaughtPlan], rng: np.random.Generator):
+        order = sorted(range(len(plans)), key=lambda i: plans[i].num_nodes)
+        chunks = [
+            [plans[i] for i in order[s:s + self.batch_size]]
+            for s in range(0, len(order), self.batch_size)
+        ]
+        rng.shuffle(chunks)
+        return chunks
+
+    def fit(self, train: PlanDataset) -> "ZeroShotModel":
+        plans = [catch_plan(s.plan) for s in train]
+        if not self.encoder.is_fit:
+            self.encoder.fit(plans)
+        rng = np.random.default_rng(self.seed)
+        optimizer = Adam(self.net.trainable_parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            for chunk in self._batches(plans, rng):
+                batch = build_tree_levels(chunk, self.encoder)
+                labels = np.array([
+                    np.log(max(p.actual_times[0], 1e-3)) for p in chunk
+                ])
+                optimizer.zero_grad()
+                pred = self.net(batch)
+                loss = log_qerror_loss(pred, labels)
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def predict_ms(self, test: PlanDataset) -> np.ndarray:
+        plans = [catch_plan(s.plan) for s in test]
+        out = np.empty(len(plans))
+        with no_grad():
+            for start in range(0, len(plans), self.batch_size):
+                chunk = plans[start:start + self.batch_size]
+                batch = build_tree_levels(chunk, self.encoder, with_labels=False)
+                out[start:start + len(chunk)] = self.net(batch).data
+        return np.exp(out)
+
+    def embed_dataset(self, dataset: PlanDataset) -> np.ndarray:
+        """Root hidden states (for the paper's discussion of ZS as encoder)."""
+        plans = [catch_plan(s.plan) for s in dataset]
+        outs = []
+        with no_grad():
+            for start in range(0, len(plans), self.batch_size):
+                chunk = plans[start:start + self.batch_size]
+                batch = build_tree_levels(chunk, self.encoder, with_labels=False)
+                outs.append(self.net.embed(batch))
+        return np.concatenate(outs, axis=0)
+
+    def num_parameters(self) -> int:
+        return self.net.num_parameters()

@@ -1,0 +1,69 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Every runner takes a :class:`~repro.bench.config.BenchScale` controlling
+workload sizes and training epochs, returns a structured result, and can
+render the same rows/series the paper reports.  ``SMOKE`` is for CI,
+``DEFAULT`` regenerates every experiment on a laptop in minutes, ``PAPER``
+documents the full-scale settings.
+"""
+
+from repro.bench.config import DEFAULT, PAPER, SMOKE, BenchScale
+from repro.bench.cache import (
+    clear_caches,
+    get_workload1,
+    get_workload2,
+    get_workload3,
+    pretrain_dace,
+    pretrain_zeroshot,
+)
+from repro.bench.extra import (
+    ablation_alpha,
+    apps_end_to_end,
+    cardinality_knowledge,
+    drift_taxonomy,
+    ablation_capacity,
+    ensemble_uncertainty,
+)
+from repro.bench.experiments import (
+    fig04_zeroshot_nodes,
+    fig05_overall_accuracy,
+    fig06_knowledge_integration,
+    fig07_data_drift,
+    fig08_training_databases,
+    fig09_cold_start,
+    fig10_ablation,
+    fig11_nodes_ablation,
+    fig12_actual_cardinality,
+    tab1_workload3,
+    tab2_efficiency,
+)
+
+__all__ = [
+    "BenchScale",
+    "SMOKE",
+    "DEFAULT",
+    "PAPER",
+    "clear_caches",
+    "get_workload1",
+    "get_workload2",
+    "get_workload3",
+    "pretrain_dace",
+    "pretrain_zeroshot",
+    "ablation_alpha",
+    "apps_end_to_end",
+    "cardinality_knowledge",
+    "drift_taxonomy",
+    "ablation_capacity",
+    "ensemble_uncertainty",
+    "fig04_zeroshot_nodes",
+    "fig05_overall_accuracy",
+    "fig06_knowledge_integration",
+    "fig07_data_drift",
+    "fig08_training_databases",
+    "fig09_cold_start",
+    "fig10_ablation",
+    "fig11_nodes_ablation",
+    "fig12_actual_cardinality",
+    "tab1_workload3",
+    "tab2_efficiency",
+]

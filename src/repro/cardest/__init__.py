@@ -1,0 +1,36 @@
+"""Learned cardinality estimation substrate (DeepDB-style SPNs).
+
+The paper's future work asks how to "efficiently improve general knowledge
+accuracy for DACE learning": DACE-A (true cardinalities, Fig 12) is the
+oracle upper bound, but true cardinalities are unobtainable in advance.
+This package provides the practical middle ground the related work points
+to — DeepDB [9]: **Sum-Product Networks learned per table** that answer
+multi-predicate selectivity queries *jointly*, capturing the column
+correlations the DBMS's independence assumption destroys.
+
+- :mod:`repro.cardest.spn` — SPN structure learning (row clustering for
+  sum nodes, correlation-based column partitioning for product nodes,
+  histogram leaves) and conjunctive range inference.
+- :mod:`repro.cardest.estimator` — a drop-in
+  :class:`~repro.engine.cardinality.CardinalityEstimator` replacement that
+  answers single-table selectivities from the SPNs; joins keep the MCV
+  machinery (DeepDB's fan-out SPNs are out of scope).
+
+Feeding these improved estimates into DACE's encoding yields **DACE-D**,
+evaluated alongside DACE and DACE-A by
+:func:`repro.bench.extra.cardinality_knowledge`.
+"""
+
+from repro.cardest.spn import SPNTableEstimator
+from repro.cardest.estimator import (
+    SPNCardinalityEstimator,
+    build_spn_estimators,
+    learned_session,
+)
+
+__all__ = [
+    "SPNTableEstimator",
+    "SPNCardinalityEstimator",
+    "build_spn_estimators",
+    "learned_session",
+]

@@ -1,0 +1,217 @@
+"""Deterministic synthetic data generation for a schema.
+
+Every column is materialized as a numpy array from a seeded generator.
+NULLs are encoded as :data:`NULL_SENTINEL` for integer columns and ``nan``
+for float columns; statistics and predicate evaluation treat them as
+missing.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.catalog.schema import Column, Schema, Table
+
+NULL_SENTINEL = -(2**31)
+
+
+def _zipf_codes(
+    rng: np.random.Generator, n: int, low: int, high: int, skew: float
+) -> np.ndarray:
+    """Zipf-distributed integer codes in [low, high]."""
+    domain = max(1, int(high - low) + 1)
+    ranks = np.arange(1, domain + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    return low + rng.choice(domain, size=n, p=weights)
+
+
+def _generate_column(
+    rng: np.random.Generator,
+    column: Column,
+    num_rows: int,
+    existing: Dict[str, np.ndarray],
+    parent_keys: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    if column.kind == "pk":
+        return np.arange(num_rows, dtype=np.int64)
+
+    if column.kind == "fk":
+        if parent_keys is None:
+            raise ValueError(f"fk column {column.name} generated without parent")
+        if column.distribution == "zipf":
+            # Skewed references: per-parent popularity drawn lognormal, with
+            # the heaviest parents capped at 40x the median so star joins
+            # have realistic (bounded) fan-out explosions.
+            sigma = min(max(column.skew - 0.7, 0.3), 1.2)
+            popularity = rng.lognormal(0.0, sigma, size=len(parent_keys))
+            popularity = np.minimum(popularity, np.median(popularity) * 40.0)
+            popularity /= popularity.sum()
+            idx = rng.choice(len(parent_keys), size=num_rows, p=popularity)
+        else:
+            idx = rng.integers(0, len(parent_keys), size=num_rows)
+        values = parent_keys[idx].astype(np.int64)
+    elif column.distribution == "uniform":
+        if column.kind == "int":
+            values = rng.integers(
+                int(column.low), int(column.high) + 1, size=num_rows
+            ).astype(np.int64)
+        else:
+            values = rng.uniform(column.low, column.high, size=num_rows)
+    elif column.distribution == "zipf":
+        values = _zipf_codes(
+            rng, num_rows, int(column.low), int(column.high), column.skew
+        ).astype(np.int64)
+        if column.kind == "float":
+            values = values.astype(np.float64)
+    elif column.distribution == "normal":
+        center = (column.low + column.high) / 2.0
+        spread = max((column.high - column.low) / 6.0, 1e-9)
+        values = np.clip(
+            rng.normal(center, spread, size=num_rows), column.low, column.high
+        )
+        if column.kind == "int":
+            values = np.round(values).astype(np.int64)
+    elif column.distribution == "correlated":
+        source = existing[column.correlated_with].astype(np.float64)
+        source = np.where(np.isfinite(source), source, 0.0)
+        lo, hi = source.min(), source.max()
+        unit = (source - lo) / (hi - lo) if hi > lo else np.zeros_like(source)
+        noisy = np.clip(unit + rng.normal(0.0, 0.15, size=num_rows), 0.0, 1.0)
+        values = column.low + noisy * (column.high - column.low)
+        if column.kind == "int":
+            values = np.round(values).astype(np.int64)
+    else:
+        raise ValueError(f"unknown distribution {column.distribution!r}")
+
+    if column.null_frac > 0:
+        mask = rng.random(num_rows) < column.null_frac
+        if values.dtype == np.int64:
+            values = values.copy()
+            values[mask] = NULL_SENTINEL
+        else:
+            values = values.astype(np.float64)
+            values[mask] = np.nan
+    return values
+
+
+@dataclass
+class Database:
+    """A materialized database: schema plus column arrays per table."""
+
+    schema: Schema
+    data: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def column_array(self, table: str, column: str) -> np.ndarray:
+        return self.data[table][column]
+
+    def table_rows(self, table: str) -> int:
+        return self.schema.table(table).num_rows
+
+    def scale(self, factor: float, seed: int = 0) -> "Database":
+        """Return a resampled copy with ``factor`` times the rows per table.
+
+        Used for data-drift experiments (Fig 7): the schema shape stays the
+        same, value distributions stay the same, but table sizes (and hence
+        true costs) change.  Rows are resampled with replacement for
+        factor > 1 and subsampled without replacement for factor < 1;
+        primary keys are regenerated to stay unique and foreign keys are
+        re-mapped onto the new parent key spaces.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        rng = np.random.default_rng(seed + 17)
+        scaled_schema = Schema(name=f"{self.schema.name}_x{factor:g}")
+        new_data: Dict[str, Dict[str, np.ndarray]] = {}
+        new_sizes = {
+            name: max(2, int(round(table.num_rows * factor)))
+            for name, table in self.schema.tables.items()
+        }
+        for name, table in self.schema.tables.items():
+            n_new = new_sizes[name]
+            take = rng.integers(0, table.num_rows, size=n_new)
+            columns = {}
+            for column in table.columns:
+                if column.kind == "pk":
+                    columns[column.name] = np.arange(n_new, dtype=np.int64)
+                else:
+                    columns[column.name] = self.data[name][column.name][take]
+            new_data[name] = columns
+            scaled_schema.add_table(
+                Table(name=name, columns=list(table.columns), num_rows=n_new)
+            )
+        # Re-map FKs into the resampled parent key space (old pk values no
+        # longer exist; map value v -> v mod new_parent_rows, preserving skew).
+        for fk in self.schema.foreign_keys:
+            parent_rows = new_sizes[fk.parent_table]
+            child_col = new_data[fk.child_table][fk.child_column]
+            nulls = child_col == NULL_SENTINEL
+            remapped = np.mod(child_col, parent_rows).astype(np.int64)
+            remapped[nulls] = NULL_SENTINEL
+            new_data[fk.child_table][fk.child_column] = remapped
+            scaled_schema.add_foreign_key(fk)
+        return Database(schema=scaled_schema, data=new_data)
+
+
+def generate_database(schema: Schema, seed: int = 0) -> Database:
+    """Materialize ``schema`` into a :class:`Database`, deterministically.
+
+    Tables are generated parents-first so FK columns can sample real parent
+    keys.
+    """
+    rng = np.random.default_rng(seed)
+    database = Database(schema=schema)
+    fk_by_child: Dict[str, list] = {}
+    for fk in schema.foreign_keys:
+        fk_by_child.setdefault(fk.child_table, []).append(fk)
+
+    # Topological order over the FK DAG (parents before children); FK graphs
+    # in the zoo are acyclic.  Fall back to insertion order plus a check.
+    ordered = []
+    remaining = dict(schema.tables)
+    while remaining:
+        progressed = False
+        for name in list(remaining):
+            fks = fk_by_child.get(name, [])
+            if all(fk.parent_table not in remaining or fk.parent_table == name
+                   for fk in fks):
+                ordered.append(name)
+                del remaining[name]
+                progressed = True
+        if not progressed:
+            raise ValueError(
+                f"cyclic foreign keys among tables {sorted(remaining)}"
+            )
+
+    for name in ordered:
+        table = schema.table(name)
+        # zlib.crc32 is stable across processes (str hash() is randomized).
+        table_rng = np.random.default_rng(
+            np.random.SeedSequence([seed, zlib.crc32(name.encode())])
+        )
+        columns: Dict[str, np.ndarray] = {}
+        fk_map = {
+            fk.child_column: fk for fk in fk_by_child.get(name, [])
+        }
+        for column in table.columns:
+            parent_keys = None
+            if column.kind == "fk":
+                fk = fk_map.get(column.name)
+                if fk is None:
+                    raise ValueError(
+                        f"fk column {name}.{column.name} has no ForeignKey"
+                    )
+                parent_keys = database.data[fk.parent_table][fk.parent_column]
+            columns[column.name] = _generate_column(
+                table_rng, column, table.num_rows, columns, parent_keys
+            )
+        database.data[name] = columns
+    return database

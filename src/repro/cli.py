@@ -1,0 +1,271 @@
+"""Command-line interface: collect workloads, train, evaluate, explain.
+
+Examples::
+
+    python -m repro zoo
+    python -m repro collect --db imdb --count 200 --out imdb.jsonl
+    python -m repro collect --db airline --count 200 --out airline.jsonl
+    python -m repro train --workload airline.jsonl --out model/
+    python -m repro finetune --model model/ --workload imdb.jsonl --out tuned/
+    python -m repro evaluate --model tuned/ --workload imdb.jsonl
+    python -m repro explain --db imdb --model model/ \
+        --sql "SELECT COUNT(*) FROM title WHERE title.production_year > 2000"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.catalog.zoo import ZOO_DATABASE_NAMES, build_schema, load_database
+from repro.core.estimator import DACE
+from repro.core.trainer import TrainingConfig
+from repro.engine.machines import M1, M2
+from repro.engine.plan import explain as explain_plan
+from repro.engine.session import EngineSession
+from repro.metrics.qerror import qerror_summary
+from repro.metrics.tables import format_table
+from repro.sql.generator import QueryGenerator, WorkloadSpec
+from repro.sql.text import parse_query
+from repro.workloads.dataset import PlanDataset, collect_workload
+from repro.workloads.serialize import load_dataset, save_dataset
+
+_MACHINES = {"M1": M1, "M2": M2}
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    rows = []
+    for name in ZOO_DATABASE_NAMES:
+        schema = build_schema(name)
+        rows.append([
+            name, len(schema.tables), len(schema.foreign_keys),
+            schema.total_rows(),
+        ])
+    print(format_table(
+        ["database", "tables", "foreign keys", "rows"], rows,
+        title="The 20-database zoo",
+    ))
+    return 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    database = load_database(args.db)
+    spec = WorkloadSpec(
+        max_joins=args.max_joins,
+        max_predicates=args.max_predicates,
+        min_predicates=args.min_predicates,
+    )
+    queries = QueryGenerator(database, spec, seed=args.seed).generate_many(
+        args.count
+    )
+    dataset = collect_workload(
+        database, queries, machine=_MACHINES[args.machine], seed=args.seed
+    )
+    save_dataset(dataset, args.out)
+    print(f"collected {len(dataset)} labelled plans from {args.db!r} "
+          f"on {args.machine} -> {args.out}")
+    return 0
+
+
+def _load_many(paths: List[str]) -> PlanDataset:
+    return PlanDataset.merge(load_dataset(path) for path in paths)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    train = _load_many(args.workload)
+    dace = DACE(
+        training=TrainingConfig(epochs=args.epochs, seed=args.seed),
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    dace.fit(train)
+    dace.save(args.out)
+    print(f"trained DACE on {len(train)} plans "
+          f"({dace.num_parameters()} parameters) -> {args.out}")
+    return 0
+
+
+def _cmd_finetune(args: argparse.Namespace) -> int:
+    dace = DACE.load(args.model)
+    tune = _load_many(args.workload)
+    dace.fine_tune_lora(tune, epochs=args.epochs)
+    dace.save(args.out)
+    print(f"LoRA fine-tuned on {len(tune)} plans "
+          f"({dace.model.lora_num_parameters()} adapter parameters) "
+          f"-> {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dace = DACE.load(args.model)
+    test = _load_many(args.workload)
+    summary = qerror_summary(dace.predict(test), test.latencies())
+    print(format_table(
+        ["median", "90th", "95th", "99th", "max", "mean"],
+        [summary.as_row()],
+        title=f"q-error on {len(test)} plans",
+    ))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    database = load_database(args.db)
+    session = EngineSession(database, _MACHINES[args.machine], seed=args.seed)
+    query = parse_query(args.sql)
+    if args.analyze:
+        plan = session.explain_analyze(query)
+    else:
+        plan = session.explain(query)
+    print(explain_plan(plan, analyze=args.analyze))
+    if args.model:
+        dace = DACE.load(args.model)
+        print(f"\nDACE predicted latency: "
+              f"{dace.predict_plan(plan):.3f} ms")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.workloads.describe import describe_text
+
+    dataset = _load_many(args.workload)
+    print(describe_text(dataset))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting import evaluation_report, save_report
+
+    dace = DACE.load(args.model)
+    test = _load_many(args.workload)
+    predictions = dace.predict(test)
+    if args.out:
+        save_report("DACE", predictions, test, args.out)
+        print(f"report written to {args.out}")
+    else:
+        print(evaluation_report("DACE", predictions, test))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import repro.bench as bench
+
+    scales = {"smoke": bench.SMOKE, "default": bench.DEFAULT,
+              "paper": bench.PAPER}
+    runners = {
+        "fig04": bench.fig04_zeroshot_nodes,
+        "fig05": bench.fig05_overall_accuracy,
+        "tab1": bench.tab1_workload3,
+        "fig06": bench.fig06_knowledge_integration,
+        "tab2": bench.tab2_efficiency,
+        "fig07": bench.fig07_data_drift,
+        "fig08": bench.fig08_training_databases,
+        "fig09": bench.fig09_cold_start,
+        "fig10": bench.fig10_ablation,
+        "fig11": bench.fig11_nodes_ablation,
+        "fig12": bench.fig12_actual_cardinality,
+        "alpha": bench.ablation_alpha,
+        "capacity": bench.ablation_capacity,
+        "ensemble": bench.ensemble_uncertainty,
+        "apps": bench.apps_end_to_end,
+        "taxonomy": bench.drift_taxonomy,
+        "cardknowledge": bench.cardinality_knowledge,
+    }
+    if args.experiment == "list":
+        for name in runners:
+            print(name)
+        return 0
+    result = runners[args.experiment](scales[args.scale])
+    print(result["table"])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DACE reproduction command-line tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("zoo", help="list the 20 zoo databases").set_defaults(
+        func=_cmd_zoo
+    )
+
+    collect = sub.add_parser("collect", help="generate + execute a workload")
+    collect.add_argument("--db", required=True, choices=ZOO_DATABASE_NAMES)
+    collect.add_argument("--count", type=int, default=200)
+    collect.add_argument("--out", required=True)
+    collect.add_argument("--machine", choices=_MACHINES, default="M1")
+    collect.add_argument("--max-joins", type=int, default=5)
+    collect.add_argument("--max-predicates", type=int, default=5)
+    collect.add_argument("--min-predicates", type=int, default=1)
+    collect.add_argument("--seed", type=int, default=0)
+    collect.set_defaults(func=_cmd_collect)
+
+    train = sub.add_parser("train", help="pre-train DACE on workload files")
+    train.add_argument("--workload", nargs="+", required=True)
+    train.add_argument("--out", required=True)
+    train.add_argument("--epochs", type=int, default=30)
+    train.add_argument("--alpha", type=float, default=0.5)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(func=_cmd_train)
+
+    finetune = sub.add_parser("finetune", help="LoRA fine-tune a saved model")
+    finetune.add_argument("--model", required=True)
+    finetune.add_argument("--workload", nargs="+", required=True)
+    finetune.add_argument("--out", required=True)
+    finetune.add_argument("--epochs", type=int, default=20)
+    finetune.set_defaults(func=_cmd_finetune)
+
+    evaluate = sub.add_parser("evaluate", help="q-error of a saved model")
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--workload", nargs="+", required=True)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    explain = sub.add_parser("explain", help="plan (and simulate) a SQL query")
+    explain.add_argument("--db", required=True, choices=ZOO_DATABASE_NAMES)
+    explain.add_argument("--sql", required=True)
+    explain.add_argument("--analyze", action="store_true")
+    explain.add_argument("--machine", choices=_MACHINES, default="M1")
+    explain.add_argument("--model", default=None,
+                         help="saved DACE directory for corrected estimates")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.set_defaults(func=_cmd_explain)
+
+    describe = sub.add_parser(
+        "describe", help="summarize a collected workload file"
+    )
+    describe.add_argument("--workload", nargs="+", required=True)
+    describe.set_defaults(func=_cmd_describe)
+
+    report = sub.add_parser(
+        "report", help="markdown evaluation report of a saved model"
+    )
+    report.add_argument("--model", required=True)
+    report.add_argument("--workload", nargs="+", required=True)
+    report.add_argument("--out", default=None)
+    report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="run one of the paper's experiments"
+    )
+    bench.add_argument(
+        "experiment",
+        choices=["list", "fig04", "fig05", "tab1", "fig06", "tab2", "fig07",
+                 "fig08", "fig09", "fig10", "fig11", "fig12", "alpha",
+                 "capacity", "ensemble", "apps", "taxonomy",
+                 "cardknowledge"],
+    )
+    bench.add_argument("--scale", choices=["smoke", "default", "paper"],
+                       default="smoke")
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""DACE — the paper's primary contribution.
+
+- :mod:`repro.core.model` — the lightweight tree-attention transformer with
+  a 3-layer MLP head predicting all sub-plan costs in parallel (Sec. IV-C).
+- :mod:`repro.core.trainer` — mini-batch training with the loss adjuster's
+  weighted q-error objective (eq. 7).
+- :mod:`repro.core.estimator` — the high-level pre-trained-estimator API:
+  fit / predict / save / load / LoRA fine-tuning / encoder embeddings.
+"""
+
+from repro.core.model import DACEConfig, DACEModel
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.core.estimator import DACE
+from repro.core.alpha_search import AlphaSearchResult, search_alpha
+from repro.core.ensemble import DACEEnsemble
+from repro.core.tuning import TuningResult, grid_search, random_search
+from repro.core.drift_monitor import DriftMonitor, MonitorStatus
+from repro.core.data_selection import (
+    coverage_radius,
+    select_diverse,
+    select_random,
+    select_uncertain,
+)
+
+__all__ = [
+    "DACEConfig",
+    "DACEModel",
+    "Trainer",
+    "TrainingConfig",
+    "DACE",
+    "search_alpha",
+    "AlphaSearchResult",
+    "DACEEnsemble",
+    "grid_search",
+    "random_search",
+    "TuningResult",
+    "select_random",
+    "select_diverse",
+    "select_uncertain",
+    "coverage_radius",
+    "DriftMonitor",
+    "MonitorStatus",
+]

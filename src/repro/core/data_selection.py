@@ -1,0 +1,98 @@
+"""Training-data selection for fine-tuning (the retraining question).
+
+The paper's Limitation I asks "when to retrain and how to collect the data
+used for retraining".  Labels are the expensive part — every selected query
+must be *executed* to get its latency — so fine-tuning wants the most
+informative subset.  Three selectors:
+
+- ``select_random`` — the baseline.
+- ``select_diverse`` — farthest-point sampling in the pre-trained DACE's
+  embedding space: cover the plan space with as few executions as possible.
+- ``select_uncertain`` — highest ensemble disagreement first: label where
+  the current model knows least (uncertainty sampling).
+
+All return indices into the candidate dataset so callers can execute only
+the chosen queries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.dataset import PlanDataset
+
+
+def select_random(
+    dataset: PlanDataset, budget: int, seed: int = 0
+) -> np.ndarray:
+    """Uniformly random indices (the baseline selector)."""
+    budget = _check_budget(dataset, budget)
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(len(dataset), size=budget, replace=False))
+
+
+def select_diverse(
+    embeddings: np.ndarray, budget: int, seed: int = 0
+) -> np.ndarray:
+    """Farthest-point sampling over plan embeddings.
+
+    ``embeddings`` is (n, d) — typically ``dace.embed_dataset(candidates)``.
+    Starts from the embedding closest to the centroid, then repeatedly adds
+    the point farthest from everything selected so far.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise ValueError("embeddings must be (n, d)")
+    n = embeddings.shape[0]
+    if not 0 < budget <= n:
+        raise ValueError(f"budget must be in [1, {n}]")
+    centroid = embeddings.mean(axis=0)
+    first = int(np.argmin(((embeddings - centroid) ** 2).sum(axis=1)))
+    selected = [first]
+    distances = ((embeddings - embeddings[first]) ** 2).sum(axis=1)
+    for _ in range(budget - 1):
+        next_index = int(np.argmax(distances))
+        selected.append(next_index)
+        new_distances = (
+            (embeddings - embeddings[next_index]) ** 2
+        ).sum(axis=1)
+        distances = np.minimum(distances, new_distances)
+    return np.sort(np.array(selected, dtype=np.int64))
+
+
+def select_uncertain(
+    sigma: Sequence[float], budget: int
+) -> np.ndarray:
+    """Indices with the highest predictive uncertainty first.
+
+    ``sigma`` is the per-query disagreement from
+    :meth:`~repro.core.ensemble.DACEEnsemble.predict_with_uncertainty`.
+    """
+    sigma = np.asarray(sigma, dtype=np.float64)
+    if sigma.ndim != 1:
+        raise ValueError("sigma must be 1-D")
+    if not 0 < budget <= sigma.size:
+        raise ValueError(f"budget must be in [1, {sigma.size}]")
+    return np.sort(np.argsort(sigma)[::-1][:budget])
+
+
+def _check_budget(dataset: PlanDataset, budget: int) -> int:
+    if not 0 < budget <= len(dataset):
+        raise ValueError(f"budget must be in [1, {len(dataset)}]")
+    return budget
+
+
+def coverage_radius(
+    embeddings: np.ndarray, selected: np.ndarray
+) -> float:
+    """Max distance from any candidate to its nearest selected point —
+    the quantity farthest-point sampling greedily minimizes (lower is
+    better coverage)."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    chosen = embeddings[np.asarray(selected, dtype=np.int64)]
+    distances = (
+        ((embeddings[:, None, :] - chosen[None, :, :]) ** 2).sum(axis=2)
+    )
+    return float(np.sqrt(distances.min(axis=1).max()))

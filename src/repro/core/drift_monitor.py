@@ -1,0 +1,146 @@
+"""Deployment-time drift monitoring and triggered LoRA adaptation.
+
+Answers the paper's "when to retrain and how to collect the data used for
+retraining" (Limitation I) with the pieces this library already has:
+
+- **when** — a rolling window of observed q-errors on executed queries;
+  once the rolling median degrades past a threshold relative to the
+  healthy baseline, the model has drifted;
+- **what data** — the drifted window itself is the freshest labelled data;
+  optionally distilled to a budget with
+  :mod:`repro.core.data_selection`;
+- **how** — LoRA fine-tuning (eq. 8), which adapts the pre-trained model
+  at a fraction of retraining cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.data_selection import select_diverse, select_random
+from repro.core.estimator import DACE
+from repro.engine.plan import PlanNode
+from repro.sql.query import Query
+from repro.workloads.dataset import PlanDataset, PlanSample
+
+
+@dataclass(frozen=True)
+class MonitorStatus:
+    """Snapshot of the monitor's view of model health."""
+
+    observed: int
+    rolling_median_qerror: float
+    baseline_median_qerror: float
+    drifted: bool
+
+    @property
+    def degradation(self) -> float:
+        """Rolling / baseline median ratio (1.0 = healthy)."""
+        if self.baseline_median_qerror <= 0:
+            return 1.0
+        return self.rolling_median_qerror / self.baseline_median_qerror
+
+
+class DriftMonitor:
+    """Watches a deployed DACE's per-query q-errors for EDQO drift."""
+
+    def __init__(
+        self,
+        model: DACE,
+        window: int = 100,
+        threshold: float = 1.5,
+        baseline_median: Optional[float] = None,
+    ) -> None:
+        """``threshold``: rolling median worse than ``threshold`` times the
+        baseline median flags drift.  ``baseline_median`` can be supplied
+        from validation; otherwise the first full window sets it."""
+        if window < 10:
+            raise ValueError("window must be >= 10")
+        if threshold <= 1.0:
+            raise ValueError("threshold must exceed 1.0")
+        self.model = model
+        self.window = window
+        self.threshold = threshold
+        self._baseline = baseline_median
+        self._errors: Deque[float] = deque(maxlen=window)
+        self._samples: Deque[PlanSample] = deque(maxlen=window)
+        self._observed = 0
+
+    # ------------------------------------------------------------------ #
+    def observe(self, plan: PlanNode, query: Query,
+                database_name: str = "") -> float:
+        """Record one executed query; returns its q-error."""
+        if plan.actual_time_ms is None:
+            raise ValueError("plan must carry an actual latency label")
+        predicted = self.model.predict_plan(plan)
+        actual = max(plan.actual_time_ms, 1e-9)
+        qerror = max(predicted, actual) / max(min(predicted, actual), 1e-9)
+        self._errors.append(qerror)
+        self._samples.append(PlanSample(
+            plan=plan, query=query, database_name=database_name
+        ))
+        self._observed += 1
+        if (
+            self._baseline is None
+            and self._observed >= self.window
+        ):
+            self._baseline = float(np.median(self._errors))
+        return qerror
+
+    def status(self) -> MonitorStatus:
+        rolling = (
+            float(np.median(self._errors)) if self._errors else 1.0
+        )
+        baseline = self._baseline if self._baseline is not None else rolling
+        drifted = (
+            self._baseline is not None
+            and len(self._errors) >= self.window
+            and rolling > self.threshold * baseline
+        )
+        return MonitorStatus(
+            observed=self._observed,
+            rolling_median_qerror=rolling,
+            baseline_median_qerror=float(baseline),
+            drifted=drifted,
+        )
+
+    # ------------------------------------------------------------------ #
+    def window_dataset(self) -> PlanDataset:
+        """The labelled queries currently in the window."""
+        return PlanDataset(list(self._samples))
+
+    def adapt(
+        self,
+        budget: Optional[int] = None,
+        selection: str = "diverse",
+        epochs: int = 15,
+        seed: int = 0,
+    ) -> PlanDataset:
+        """LoRA fine-tune on the window (optionally a selected subset);
+        resets the baseline so recovery is measured fresh.  Returns the
+        dataset actually used for tuning."""
+        candidates = self.window_dataset()
+        if len(candidates) == 0:
+            raise ValueError("nothing observed yet")
+        if budget is not None and budget < len(candidates):
+            if selection == "diverse":
+                embeddings = self.model.embed_dataset(candidates)
+                indices = select_diverse(embeddings, budget, seed=seed)
+            elif selection == "random":
+                indices = select_random(candidates, budget, seed=seed)
+            else:
+                raise ValueError(f"unknown selection {selection!r}")
+            tuning_set = PlanDataset(
+                [candidates[int(i)] for i in indices]
+            )
+        else:
+            tuning_set = candidates
+        self.model.fine_tune_lora(tuning_set, epochs=epochs)
+        # Measure recovery against a fresh baseline.
+        self._errors.clear()
+        self._baseline = None
+        return tuning_set

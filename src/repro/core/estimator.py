@@ -1,0 +1,198 @@
+"""DACE: the high-level pre-trained cost estimator API.
+
+Usage::
+
+    dace = DACE()
+    dace.fit(train_datasets)             # pre-train on many databases
+    preds = dace.predict(test_dataset)   # zero-shot on an unseen database
+    dace.fine_tune_lora(new_machine_ds)  # adapt to across-more cheaply
+    embedding = dace.embed_plan(plan)    # pre-trained-encoder context
+    dace.save(path); DACE.load(path)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, replace
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.model import DACEConfig, DACEModel
+from repro.core.trainer import Trainer, TrainingConfig, catch_dataset
+from repro.engine.plan import PlanNode
+from repro.featurize.catcher import catch_plan
+from repro.featurize.encoder import PlanEncoder
+from repro.featurize.loss_weights import DEFAULT_ALPHA
+from repro.nn import no_grad
+from repro.workloads.dataset import PlanDataset
+
+
+class DACE:
+    """Database-agnostic cost estimator (pre-trained estimator + encoder)."""
+
+    def __init__(
+        self,
+        config: DACEConfig = DACEConfig(),
+        training: TrainingConfig = TrainingConfig(),
+        alpha: float = DEFAULT_ALPHA,
+        card_source: str = "estimated",
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.training = replace(training, seed=seed)
+        self.alpha = alpha
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.model = DACEModel(config, rng=rng)
+        self.encoder = PlanEncoder(alpha=alpha, card_source=card_source)
+        self.trainer = Trainer(self.model, self.encoder, self.training)
+
+    # ------------------------------------------------------------------ #
+    # Pre-training & inference
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _merge(datasets: Union[PlanDataset, Iterable[PlanDataset]]) -> PlanDataset:
+        if isinstance(datasets, PlanDataset):
+            return datasets
+        return PlanDataset.merge(datasets)
+
+    def fit(self, datasets: Union[PlanDataset, Iterable[PlanDataset]]) -> "DACE":
+        """Pre-train on one or many databases' labelled workloads."""
+        self.model.disable_lora()
+        self.trainer.fit(self._merge(datasets))
+        return self
+
+    def predict(self, dataset: PlanDataset) -> np.ndarray:
+        """Predicted latency (ms) per plan; no database knowledge needed."""
+        return self.trainer.predict_ms(dataset)
+
+    def predict_plan(self, plan: PlanNode) -> float:
+        """Predicted latency (ms) for a single plan."""
+        batch = self.encoder.encode_batch([catch_plan(plan)], with_labels=False)
+        with no_grad():
+            pred = self.model(batch)
+        return float(np.exp(pred.data[0, 0]))
+
+    def predict_subplans(self, plan: PlanNode) -> np.ndarray:
+        """Predicted latency (ms) for every sub-plan, in DFS order."""
+        caught = catch_plan(plan)
+        batch = self.encoder.encode_batch([caught], with_labels=False)
+        with no_grad():
+            pred = self.model(batch)
+        return np.exp(pred.data[0, : caught.num_nodes])
+
+    # ------------------------------------------------------------------ #
+    # LoRA fine-tuning (across-more, paper Sec. IV-D)
+    # ------------------------------------------------------------------ #
+    def fine_tune_lora(
+        self,
+        datasets: Union[PlanDataset, Iterable[PlanDataset]],
+        epochs: Optional[int] = None,
+        lr: Optional[float] = None,
+    ) -> "DACE":
+        """Adapt with LoRA: base weights frozen, only adapters train."""
+        self.model.enable_lora()
+        tuning = replace(
+            self.training,
+            epochs=epochs if epochs is not None else self.training.epochs,
+            lr=lr if lr is not None else self.training.lr,
+        )
+        tuner = Trainer(self.model, self.encoder, tuning)
+        tuner.fit(self._merge(datasets))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Pre-trained encoder (paper eq. 9)
+    # ------------------------------------------------------------------ #
+    def embed_plan(self, plan: PlanNode) -> np.ndarray:
+        """64-dim context vector ``w_E`` for one plan."""
+        batch = self.encoder.encode_batch([catch_plan(plan)], with_labels=False)
+        with no_grad():
+            return self.model.embed(batch)[0]
+
+    def embed_dataset(self, dataset: PlanDataset) -> np.ndarray:
+        """Context vectors for every plan: shape (len(dataset), 64)."""
+        plans = catch_dataset(dataset)
+        out = np.empty((len(plans), self.config.hidden2))
+        with no_grad():
+            step = self.training.batch_size
+            for start in range(0, len(plans), step):
+                chunk = plans[start:start + step]
+                batch = self.encoder.encode_batch(chunk, with_labels=False)
+                out[start:start + len(chunk)] = self.model.embed(batch)
+        return out
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.config.hidden2
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str) -> None:
+        """Save weights + scaler + config under ``path`` (a directory)."""
+        os.makedirs(path, exist_ok=True)
+        np.savez(os.path.join(path, "weights.npz"), **self.model.state_dict())
+        scaler = self.encoder.state()
+        np.savez(
+            os.path.join(path, "scaler.npz"),
+            center=scaler["center"],
+            scale=scaler["scale"],
+        )
+        meta = {
+            "config": asdict(self.config),
+            "alpha": self.alpha,
+            "card_source": self.encoder.card_source,
+            "seed": self.seed,
+            "lora_enabled": self.model.lora_enabled,
+        }
+        with open(os.path.join(path, "meta.json"), "w") as handle:
+            json.dump(meta, handle, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "DACE":
+        with open(os.path.join(path, "meta.json")) as handle:
+            meta = json.load(handle)
+        config_dict = dict(meta["config"])
+        config_dict["lora_ranks"] = tuple(config_dict["lora_ranks"])
+        config = DACEConfig(**config_dict)
+        dace = cls(
+            config=config,
+            alpha=meta["alpha"],
+            card_source=meta.get("card_source", "estimated"),
+            seed=meta["seed"],
+        )
+        with np.load(os.path.join(path, "weights.npz")) as archive:
+            state = {name: archive[name] for name in archive.files}
+        dace.model.load_state_dict(state)
+        with np.load(os.path.join(path, "scaler.npz")) as archive:
+            dace.encoder.load_state({
+                "alpha": meta["alpha"],
+                "card_source": meta.get("card_source", "estimated"),
+                "center": archive["center"],
+                "scale": archive["scale"],
+            })
+        if meta.get("lora_enabled"):
+            dace.model.enable_lora()
+        return dace
+
+    # ------------------------------------------------------------------ #
+    def num_parameters(self, include_lora: bool = False) -> int:
+        total = self.model.num_parameters()
+        if include_lora:
+            return total
+        return total - self.model.lora_num_parameters()
+
+    def size_mb(self, include_lora: bool = False) -> float:
+        """Model size in MB at float32, the unit of the paper's Tab II.
+
+        By default counts the base model only (the paper's "DACE" row);
+        ``include_lora=True`` adds the adapters (the "DACE-LoRA" row).
+        """
+        return 4 * self.num_parameters(include_lora) / 1e6
+
+    def lora_size_mb(self) -> float:
+        """Size of the LoRA adapters alone."""
+        return 4 * self.model.lora_num_parameters() / 1e6

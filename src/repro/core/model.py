@@ -1,0 +1,130 @@
+"""The DACE model (paper Sec. IV-C).
+
+Architecture, matching the paper's parameter settings:
+
+- input: node encodings of length d = 18 (16 one-hot node types +
+  robust-scaled DBMS cardinality and cost),
+- a single-layer, single-head transformer encoder with d_k = d_v = 128
+  whose attention is masked by the plan's partial-order matrix ``A(p)``
+  (eq. 5) — each node attends only to itself and its descendants, the same
+  information flow as actual plan execution,
+- a 3-layer MLP head (128 -> 128 -> 64 -> 1) predicting the log-latency of
+  **every sub-plan in parallel** (eq. 6); the three layers are
+  :class:`~repro.nn.lora.LoRALinear` with ranks 32/16/8 so the model can be
+  LoRA-fine-tuned for across-more scenarios (eq. 8).
+
+Ablations used by the paper's Fig 10/11 are first-class:
+``use_tree_attention=False`` gives "DACE w/o TA" (full attention over real
+nodes); the loss adjuster's alpha lives in the encoder/trainer
+(alpha=0 -> "w/o SP", alpha=1 -> "w/o LA").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.featurize.encoder import ENCODING_DIM, EncodedBatch
+from repro.nn import LoRALinear, Module, Tensor, masked_self_attention
+from repro.nn.layers import Linear, ReLU
+
+
+@dataclass(frozen=True)
+class DACEConfig:
+    """Hyperparameters (defaults are the paper's)."""
+
+    input_dim: int = ENCODING_DIM  # 18
+    attention_dim: int = 128       # d_k = d_v
+    hidden1: int = 128             # W_1 output
+    hidden2: int = 64              # W_2 output
+    lora_ranks: tuple = (32, 16, 8)
+    use_tree_attention: bool = True
+
+
+class DACEModel(Module):
+    """Tree-attention transformer + parallel sub-plan MLP head."""
+
+    def __init__(
+        self,
+        config: DACEConfig = DACEConfig(),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.config = config
+        d, dk = config.input_dim, config.attention_dim
+        self.w_q = Linear(d, dk, rng=rng, bias=False)
+        self.w_k = Linear(d, dk, rng=rng, bias=False)
+        self.w_v = Linear(d, dk, rng=rng, bias=False)
+        r1, r2, r3 = config.lora_ranks
+        self.mlp1 = LoRALinear(dk, config.hidden1, rank=r1, rng=rng)
+        self.mlp2 = LoRALinear(config.hidden1, config.hidden2, rank=r2, rng=rng)
+        self.mlp3 = LoRALinear(config.hidden2, 1, rank=r3, rng=rng)
+        self.act = ReLU()
+
+    # ------------------------------------------------------------------ #
+    def _attention_mask(self, batch: EncodedBatch) -> np.ndarray:
+        if self.config.use_tree_attention:
+            return batch.attention_mask
+        # Ablation (w/o TA): full attention among real nodes; padding rows
+        # still attend only to themselves.
+        full = batch.valid[:, :, None] & batch.valid[:, None, :]
+        n = batch.max_nodes
+        eye = np.eye(n, dtype=bool)[None, :, :]
+        return full | eye
+
+    def _hidden(self, batch: EncodedBatch) -> Tensor:
+        """Attention output H of shape (B, n, d_v)."""
+        x = Tensor(batch.features)
+        q, k, v = self.w_q(x), self.w_k(x), self.w_v(x)
+        return masked_self_attention(q, k, v, self._attention_mask(batch))
+
+    def forward(self, batch: EncodedBatch) -> Tensor:
+        """Predicted log-latency for every node: shape (B, n)."""
+        hidden = self._hidden(batch)
+        h1 = self.act(self.mlp1(hidden))
+        h2 = self.act(self.mlp2(h1))
+        out = self.mlp3(h2)
+        return out.reshape(out.shape[0], out.shape[1])
+
+    # ------------------------------------------------------------------ #
+    def embed(self, batch: EncodedBatch) -> np.ndarray:
+        """Pre-trained-encoder output ``w_E = h_2`` (paper eq. 9).
+
+        Returns the root node's 64-dim second hidden layer per plan,
+        shape (B, hidden2).  The root is DFS position 0.
+        """
+        hidden = self._hidden(batch)
+        h1 = self.act(self.mlp1(hidden))
+        h2 = self.act(self.mlp2(h1))
+        return h2.data[:, 0, :].copy()
+
+    # ------------------------------------------------------------------ #
+    # LoRA phase control (paper eq. 8)
+    # ------------------------------------------------------------------ #
+    def enable_lora(self) -> None:
+        """Fine-tuning phase: only the adapters train; W frozen."""
+        for layer in (self.mlp1, self.mlp2, self.mlp3):
+            layer.enable_adapter()
+        # The attention projections also freeze during fine-tuning.
+        for projection in (self.w_q, self.w_k, self.w_v):
+            projection.weight.freeze()
+
+    def disable_lora(self) -> None:
+        """Pre-training phase: W trains, adapters frozen."""
+        for layer in (self.mlp1, self.mlp2, self.mlp3):
+            layer.disable_adapter()
+        for projection in (self.w_q, self.w_k, self.w_v):
+            projection.weight.unfreeze()
+
+    @property
+    def lora_enabled(self) -> bool:
+        return self.mlp1.adapter_enabled
+
+    def lora_num_parameters(self) -> int:
+        return sum(
+            layer.adapter_num_parameters()
+            for layer in (self.mlp1, self.mlp2, self.mlp3)
+        )

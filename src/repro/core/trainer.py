@@ -1,0 +1,194 @@
+"""Training loop for DACE (and shared by baselines that take EncodedBatch).
+
+Implements the paper's objective (eq. 7): per-node weighted q-error, with
+the loss adjuster's ``alpha ** height`` weights, minimized in log space.
+Batches are grouped by plan size to keep padding small, and training is
+fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.model import DACEModel
+from repro.featurize.catcher import CaughtPlan, catch_plan
+from repro.featurize.encoder import PlanEncoder
+from repro.nn import Adam, CosineLR, StepLR, clip_grad_norm, no_grad
+from repro.nn.losses import log_qerror_loss, pinball_loss
+from repro.workloads.dataset import PlanDataset
+
+
+@dataclass
+class TrainingConfig:
+    """Optimization knobs."""
+
+    epochs: int = 40
+    batch_size: int = 64
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    patience: int = 8           # early stopping on validation loss
+    validation_fraction: float = 0.1
+    lr_schedule: str = "constant"   # "constant" | "cosine" | "step"
+    grad_clip: float = 0.0          # 0 disables gradient clipping
+    # "qerror" minimizes mean |Δlog| (eq. 7); "quantile" minimizes the
+    # pinball loss at `quantile_tau`, yielding latency quantile estimates
+    # (tau=0.95 -> calibrated upper bounds for admission control).
+    objective: str = "qerror"
+    quantile_tau: float = 0.5
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lr_schedule not in ("constant", "cosine", "step"):
+            raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
+        if self.objective not in ("qerror", "quantile"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if not 0.0 < self.quantile_tau < 1.0:
+            raise ValueError("quantile_tau must be in (0, 1)")
+
+
+def catch_dataset(dataset: PlanDataset) -> List[CaughtPlan]:
+    return [catch_plan(sample.plan) for sample in dataset]
+
+
+class Trainer:
+    """Fits a DACE-style model on labelled plan datasets."""
+
+    def __init__(
+        self,
+        model: DACEModel,
+        encoder: PlanEncoder,
+        config: TrainingConfig = TrainingConfig(),
+    ) -> None:
+        self.model = model
+        self.encoder = encoder
+        self.config = config
+        self.history: List[dict] = []
+
+    def _loss(self, pred, labels_log, weights):
+        if self.config.objective == "quantile":
+            return pinball_loss(
+                pred, labels_log, self.config.quantile_tau, weights
+            )
+        return log_qerror_loss(pred, labels_log, weights)
+
+    # ------------------------------------------------------------------ #
+    def _batches(
+        self, plans: Sequence[CaughtPlan], rng: np.random.Generator
+    ) -> List[List[CaughtPlan]]:
+        # Sort by node count, then slice batches and shuffle batch order:
+        # uniform-ish padding without biasing the gradient schedule.
+        order = sorted(range(len(plans)), key=lambda i: plans[i].num_nodes)
+        size = self.config.batch_size
+        batches = [
+            [plans[i] for i in order[start:start + size]]
+            for start in range(0, len(order), size)
+        ]
+        rng.shuffle(batches)
+        return batches
+
+    def _epoch_loss(self, plans: Sequence[CaughtPlan]) -> float:
+        if not plans:
+            return float("nan")
+        total, count = 0.0, 0
+        with no_grad():
+            for start in range(0, len(plans), self.config.batch_size):
+                chunk = plans[start:start + self.config.batch_size]
+                batch = self.encoder.encode_batch(chunk)
+                pred = self.model(batch)
+                loss = self._loss(
+                    pred, batch.labels_log, batch.loss_weights
+                )
+                total += loss.item() * len(chunk)
+                count += len(chunk)
+        return total / count
+
+    # ------------------------------------------------------------------ #
+    def fit(self, train: PlanDataset) -> "Trainer":
+        """Train on ``train``; fits the encoder scaler if necessary."""
+        if len(train) == 0:
+            raise ValueError("empty training dataset")
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        plans = catch_dataset(train)
+        if not self.encoder.is_fit:
+            self.encoder.fit(plans)
+
+        n_val = int(len(plans) * config.validation_fraction)
+        if n_val >= 4:
+            perm = rng.permutation(len(plans))
+            val_plans = [plans[i] for i in perm[:n_val]]
+            train_plans = [plans[i] for i in perm[n_val:]]
+        else:
+            val_plans, train_plans = [], list(plans)
+
+        parameters = list(self.model.trainable_parameters())
+        optimizer = Adam(parameters, lr=config.lr,
+                         weight_decay=config.weight_decay)
+        scheduler = None
+        if config.lr_schedule == "cosine":
+            scheduler = CosineLR(optimizer, total_epochs=config.epochs)
+        elif config.lr_schedule == "step":
+            scheduler = StepLR(optimizer,
+                               step_size=max(config.epochs // 4, 1))
+
+        best_val = float("inf")
+        best_state = None
+        stale = 0
+        for epoch in range(config.epochs):
+            epoch_loss, seen = 0.0, 0
+            for chunk in self._batches(train_plans, rng):
+                batch = self.encoder.encode_batch(chunk)
+                optimizer.zero_grad()
+                pred = self.model(batch)
+                loss = self._loss(
+                    pred, batch.labels_log, batch.loss_weights
+                )
+                loss.backward()
+                if config.grad_clip > 0:
+                    clip_grad_norm(parameters, config.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item() * len(chunk)
+                seen += len(chunk)
+            if scheduler is not None:
+                scheduler.step()
+            val_loss = self._epoch_loss(val_plans) if val_plans else float("nan")
+            self.history.append({
+                "epoch": epoch,
+                "train_loss": epoch_loss / max(seen, 1),
+                "val_loss": val_loss,
+            })
+            if config.verbose:
+                print(f"epoch {epoch}: train={epoch_loss / max(seen, 1):.4f} "
+                      f"val={val_loss:.4f}")
+            if val_plans:
+                if val_loss < best_val - 1e-5:
+                    best_val = val_loss
+                    best_state = self.model.state_dict()
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= config.patience:
+                        break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def predict_log(self, dataset: PlanDataset) -> np.ndarray:
+        """Predicted root log-latency per plan."""
+        plans = catch_dataset(dataset)
+        out = np.empty(len(plans))
+        with no_grad():
+            for start in range(0, len(plans), self.config.batch_size):
+                chunk = plans[start:start + self.config.batch_size]
+                batch = self.encoder.encode_batch(chunk, with_labels=False)
+                pred = self.model(batch)
+                out[start:start + len(chunk)] = pred.data[:, 0]
+        return out
+
+    def predict_ms(self, dataset: PlanDataset) -> np.ndarray:
+        return np.exp(self.predict_log(dataset))

@@ -1,0 +1,133 @@
+"""Hyperparameter search over DACE configurations.
+
+Grid or random search over :class:`~repro.core.trainer.TrainingConfig` and
+:class:`~repro.core.model.DACEConfig` fields, scored by validation median
+q-error.  Complements :mod:`repro.core.alpha_search` (which owns the loss
+adjuster's alpha specifically).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.estimator import DACE
+from repro.core.model import DACEConfig
+from repro.core.trainer import TrainingConfig
+from repro.metrics.qerror import qerror_summary
+from repro.workloads.dataset import PlanDataset
+
+_TRAINING_FIELDS = {f.name for f in fields(TrainingConfig)}
+_MODEL_FIELDS = {f.name for f in fields(DACEConfig)}
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a search: every trial plus the winner."""
+
+    best_params: Dict[str, object]
+    best_score: float
+    best_model: DACE
+    trials: List[Tuple[Dict[str, object], float]]
+
+
+def _split_params(params: Dict[str, object]):
+    training = {k: v for k, v in params.items() if k in _TRAINING_FIELDS}
+    model = {k: v for k, v in params.items() if k in _MODEL_FIELDS}
+    unknown = set(params) - _TRAINING_FIELDS - _MODEL_FIELDS
+    if unknown:
+        raise KeyError(f"unknown hyperparameters: {sorted(unknown)}")
+    return training, model
+
+
+def _evaluate(
+    params: Dict[str, object],
+    train: PlanDataset,
+    validation: PlanDataset,
+    base_training: TrainingConfig,
+    base_config: DACEConfig,
+    seed: int,
+) -> Tuple[float, DACE]:
+    training_overrides, model_overrides = _split_params(params)
+    model = DACE(
+        config=replace(base_config, **model_overrides),
+        training=replace(base_training, **training_overrides),
+        seed=seed,
+    )
+    model.fit(train)
+    score = qerror_summary(
+        model.predict(validation), validation.latencies()
+    ).median
+    return score, model
+
+
+def grid_search(
+    grid: Dict[str, Sequence],
+    train: PlanDataset,
+    validation: PlanDataset,
+    base_training: TrainingConfig = TrainingConfig(epochs=15),
+    base_config: DACEConfig = DACEConfig(),
+    seed: int = 0,
+) -> TuningResult:
+    """Exhaustive search over the Cartesian product of ``grid``."""
+    if not grid:
+        raise ValueError("empty grid")
+    if len(validation) == 0:
+        raise ValueError("empty validation set")
+    names = list(grid)
+    trials: List[Tuple[Dict[str, object], float]] = []
+    best: Tuple[float, DACE, Dict[str, object]] = (float("inf"), None, {})
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        score, model = _evaluate(
+            params, train, validation, base_training, base_config, seed
+        )
+        trials.append((params, score))
+        if score < best[0]:
+            best = (score, model, params)
+    return TuningResult(
+        best_params=best[2], best_score=best[0], best_model=best[1],
+        trials=trials,
+    )
+
+
+def random_search(
+    space: Dict[str, Sequence],
+    train: PlanDataset,
+    validation: PlanDataset,
+    trials: int = 10,
+    base_training: TrainingConfig = TrainingConfig(epochs=15),
+    base_config: DACEConfig = DACEConfig(),
+    seed: int = 0,
+) -> TuningResult:
+    """Random draws from per-parameter candidate lists."""
+    if not space:
+        raise ValueError("empty search space")
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    rng = np.random.default_rng(seed)
+    seen = set()
+    evaluated: List[Tuple[Dict[str, object], float]] = []
+    best: Tuple[float, DACE, Dict[str, object]] = (float("inf"), None, {})
+    for _ in range(trials):
+        params = {
+            name: candidates[int(rng.integers(len(candidates)))]
+            for name, candidates in space.items()
+        }
+        key = tuple(sorted((k, repr(v)) for k, v in params.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        score, model = _evaluate(
+            params, train, validation, base_training, base_config, seed
+        )
+        evaluated.append((params, score))
+        if score < best[0]:
+            best = (score, model, params)
+    return TuningResult(
+        best_params=best[2], best_score=best[0], best_model=best[1],
+        trials=evaluated,
+    )

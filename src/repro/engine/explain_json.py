@@ -1,0 +1,43 @@
+"""EXPLAIN (FORMAT JSON) — machine-readable plan output.
+
+Mirrors PostgreSQL's JSON explain format closely enough that tooling
+written against PG's key names ("Node Type", "Plan Rows", "Total Cost",
+"Actual Total Time", "Plans") works on our plans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.engine.plan import PlanNode
+
+
+def plan_to_json_dict(node: PlanNode) -> Dict[str, Any]:
+    """One plan node as a PG-style JSON dict (recursive)."""
+    out: Dict[str, Any] = {
+        "Node Type": node.node_type,
+        "Startup Cost": round(node.est_startup_cost, 2),
+        "Total Cost": round(node.est_cost, 2),
+        "Plan Rows": round(node.est_rows),
+        "Plan Width": node.width,
+    }
+    if node.table is not None:
+        out["Relation Name"] = node.table
+    if node.index_column is not None:
+        out["Index Name"] = f"{node.index_column}_idx"
+    if node.join is not None:
+        out["Join Cond"] = str(node.join)
+    if node.predicates:
+        out["Filter"] = " AND ".join(str(p) for p in node.predicates)
+    if node.actual_time_ms is not None:
+        out["Actual Total Time"] = round(node.actual_time_ms, 3)
+        out["Actual Rows"] = round(node.actual_rows)
+    if node.children:
+        out["Plans"] = [plan_to_json_dict(child) for child in node.children]
+    return out
+
+
+def explain_json(plan: PlanNode, indent: int = 2) -> str:
+    """The full EXPLAIN (FORMAT JSON) document."""
+    return json.dumps([{"Plan": plan_to_json_dict(plan)}], indent=indent)

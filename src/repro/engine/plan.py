@@ -1,0 +1,153 @@
+"""Physical query-plan trees and EXPLAIN rendering.
+
+A :class:`PlanNode` carries the optimizer-estimated cardinality and cost
+(the model inputs) and, after simulated execution, the actual rows and
+actual total time (the labels).  The 16 node types match the count the
+paper encodes (Sec. V: "we consider a total of 16 node types").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.sql.query import Join, Predicate
+
+NODE_TYPES = (
+    "Seq Scan",
+    "Index Scan",
+    "Index Only Scan",
+    "Bitmap Heap Scan",
+    "Bitmap Index Scan",
+    "Nested Loop",
+    "Hash Join",
+    "Merge Join",
+    "Hash",
+    "Sort",
+    "Aggregate",
+    "Group Aggregate",
+    "Materialize",
+    "Gather",
+    "Limit",
+    "Result",
+)
+
+NODE_TYPE_INDEX = {name: index for index, name in enumerate(NODE_TYPES)}
+
+SCAN_TYPES = frozenset(
+    ["Seq Scan", "Index Scan", "Index Only Scan", "Bitmap Heap Scan"]
+)
+JOIN_TYPES = frozenset(["Nested Loop", "Hash Join", "Merge Join"])
+
+
+@dataclass
+class PlanNode:
+    """One operator in a physical plan tree."""
+
+    node_type: str
+    est_rows: float
+    est_cost: float  # optimizer total cost (PG cost units), cumulative
+    est_startup_cost: float = 0.0
+    width: int = 8
+    children: List["PlanNode"] = field(default_factory=list)
+    # Scan-specific
+    table: Optional[str] = None
+    predicates: List[Predicate] = field(default_factory=list)
+    index_column: Optional[str] = None
+    # Join-specific
+    join: Optional[Join] = None
+    # Filled in by the simulated executor (EXPLAIN ANALYZE equivalents)
+    actual_rows: Optional[float] = None
+    actual_time_ms: Optional[float] = None  # cumulative, like actual total time
+    # For nested-loop inner index scans: rows fetched via the index across
+    # all loops, before residual filters (drives the timing model).
+    fetched_rows: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node_type not in NODE_TYPE_INDEX:
+            raise ValueError(f"unknown node type {self.node_type!r}")
+        if self.est_rows < 0 or self.est_cost < 0:
+            raise ValueError("negative estimate on plan node")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_scan(self) -> bool:
+        return self.node_type in SCAN_TYPES
+
+    @property
+    def is_join(self) -> bool:
+        return self.node_type in JOIN_TYPES
+
+    def walk_dfs(self) -> Iterator["PlanNode"]:
+        """Pre-order DFS — the node order the paper's encoder uses."""
+        yield self
+        for child in self.children:
+            yield from child.walk_dfs()
+
+    def num_nodes(self) -> int:
+        return sum(1 for _ in self.walk_dfs())
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def tables_below(self) -> List[str]:
+        """All base tables in this subtree, in DFS order."""
+        tables = []
+        for node in self.walk_dfs():
+            if node.table is not None and node.node_type != "Bitmap Index Scan":
+                tables.append(node.table)
+        return tables
+
+    def clone(self) -> "PlanNode":
+        """Deep copy (labels included)."""
+        return PlanNode(
+            node_type=self.node_type,
+            est_rows=self.est_rows,
+            est_cost=self.est_cost,
+            est_startup_cost=self.est_startup_cost,
+            width=self.width,
+            children=[child.clone() for child in self.children],
+            table=self.table,
+            predicates=list(self.predicates),
+            index_column=self.index_column,
+            join=self.join,
+            actual_rows=self.actual_rows,
+            actual_time_ms=self.actual_time_ms,
+            fetched_rows=self.fetched_rows,
+        )
+
+
+def explain(plan: PlanNode, analyze: bool = False) -> str:
+    """Render a plan like PostgreSQL's EXPLAIN [ANALYZE]."""
+    lines: List[str] = []
+
+    def render(node: PlanNode, indent: int, arrow: bool) -> None:
+        prefix = " " * indent + ("->  " if arrow else "")
+        header = (
+            f"{node.node_type}"
+            + (f" on {node.table}" if node.table else "")
+            + (f" using {node.index_column}_idx" if node.index_column else "")
+        )
+        costs = (
+            f"  (cost={node.est_startup_cost:.2f}..{node.est_cost:.2f} "
+            f"rows={node.est_rows:.0f} width={node.width})"
+        )
+        actual = ""
+        if analyze and node.actual_time_ms is not None:
+            actual = (
+                f" (actual time={node.actual_time_ms:.3f} ms "
+                f"rows={node.actual_rows:.0f})"
+            )
+        lines.append(prefix + header + costs + actual)
+        detail_indent = indent + (6 if arrow else 2)
+        if node.join is not None:
+            lines.append(" " * detail_indent + f"Cond: ({node.join})")
+        for predicate in node.predicates:
+            lines.append(" " * detail_indent + f"Filter: ({predicate})")
+        for child in node.children:
+            render(child, indent + (6 if arrow else 2), True)
+
+    render(plan, 0, False)
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""EngineSession: the "DBMS connection" tying all engine pieces together.
+
+A session owns one database, its ANALYZE statistics, a planner, and a
+simulated executor on one machine profile.  Its API mirrors what the paper
+collects from PostgreSQL:
+
+- :meth:`explain`  — plan only (estimates).
+- :meth:`explain_analyze` — plan + simulated execution (estimates + labels).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.catalog.datagen import Database
+from repro.catalog.stats import TableStats, collect_table_stats
+from repro.engine.cardinality import CardinalityEstimator
+from repro.engine.cost_model import CostModel, PostgresCostConstants
+from repro.engine.executor import SimulatedExecutor
+from repro.engine.machines import M1, MachineProfile
+from repro.engine.plan import PlanNode
+from repro.engine.planner import Planner
+from repro.sql.query import Query
+
+
+class EngineSession:
+    """One database + machine, ready to plan and execute queries."""
+
+    def __init__(
+        self,
+        database: Database,
+        machine: MachineProfile = M1,
+        seed: int = 0,
+        stats: Optional[Dict[str, TableStats]] = None,
+        constants: Optional[PostgresCostConstants] = None,
+    ) -> None:
+        self.database = database
+        self.machine = machine
+        self.stats = stats if stats is not None else collect_table_stats(
+            database, seed=seed
+        )
+        self.estimator = CardinalityEstimator(self.stats)
+        cost_model = CostModel(constants) if constants else CostModel()
+        self.planner = Planner(database.schema, self.estimator, cost_model)
+        self.executor = SimulatedExecutor(database, machine, seed=seed)
+
+    def explain(self, query: Query) -> PlanNode:
+        """Plan a query (optimizer estimates only)."""
+        return self.planner.plan(query)
+
+    def explain_analyze(self, query: Query) -> PlanNode:
+        """Plan and simulate execution; per-node labels are filled in."""
+        plan = self.planner.plan(query)
+        return self.executor.execute(plan, query)
+
+    def latency_ms(self, query: Query) -> float:
+        """Convenience: total simulated latency of a query."""
+        return float(self.explain_analyze(query).actual_time_ms)

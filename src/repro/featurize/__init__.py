@@ -1,0 +1,22 @@
+"""Feature extraction for plan-based models (paper Sec. IV-B).
+
+- :mod:`repro.featurize.catcher` — the *information catcher*: DFS node
+  sequence, the partial-order adjacency matrix ``A(p)``, node heights.
+- :mod:`repro.featurize.encoder` — the *encoder*: one-hot node types,
+  robust-scaled DBMS estimates, padded batching.
+- :mod:`repro.featurize.loss_weights` — the loss adjuster's
+  ``alpha ** height`` weights.
+"""
+
+from repro.featurize.catcher import CaughtPlan, catch_plan
+from repro.featurize.encoder import EncodedBatch, PlanEncoder, RobustScaler
+from repro.featurize.loss_weights import loss_weights
+
+__all__ = [
+    "CaughtPlan",
+    "catch_plan",
+    "RobustScaler",
+    "PlanEncoder",
+    "EncodedBatch",
+    "loss_weights",
+]

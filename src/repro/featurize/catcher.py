@@ -1,0 +1,116 @@
+"""The information catcher (paper Fig 3, Sec. IV-B).
+
+Walks a query-plan tree by pre-order DFS and extracts, per node:
+
+- the node type and the DBMS-estimated cardinality and cost (features),
+- the reflexive-transitive partial-order adjacency matrix ``A(p)`` where
+  ``A[i, j] = 1`` iff node ``i`` is an ancestor of node ``j`` or ``i == j``
+  (eq. 2–3) — the tree-structured attention mask,
+- node heights, defined as *the length of the path from the node to the
+  root* (used by the loss adjuster),
+- the actual per-sub-plan execution times when the plan was executed
+  (labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine.plan import NODE_TYPE_INDEX, PlanNode
+
+
+@dataclass
+class CaughtPlan:
+    """Everything the encoder needs from one plan."""
+
+    nodes: List[PlanNode]            # pre-order DFS sequence
+    node_type_ids: np.ndarray        # (n,) int
+    est_rows: np.ndarray             # (n,) float
+    est_costs: np.ndarray            # (n,) float, cumulative per node
+    adjacency: np.ndarray            # (n, n) bool, ancestor-or-self
+    heights: np.ndarray              # (n,) int, distance to root
+    parents: np.ndarray              # (n,) int, parent DFS index (-1 root)
+    actual_times: Optional[np.ndarray]  # (n,) float ms, None if not executed
+    actual_rows: Optional[np.ndarray]   # (n,) float, None if not executed
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def distance_matrix(self) -> np.ndarray:
+        """Tree path length between every node pair (QueryFormer's bias)."""
+        n = self.num_nodes
+        depths = self.heights
+        # Ancestor sets are encoded in `adjacency`; LCA depth for (i, j) is
+        # the max depth among common ancestors (including i or j itself).
+        distances = np.zeros((n, n), dtype=np.int64)
+        ancestors = [np.nonzero(self.adjacency[:, j])[0] for j in range(n)]
+        for i in range(n):
+            set_i = set(ancestors[i].tolist())
+            for j in range(i + 1, n):
+                common = [a for a in ancestors[j] if a in set_i]
+                lca_depth = max(depths[a] for a in common)
+                d = depths[i] + depths[j] - 2 * lca_depth
+                distances[i, j] = d
+                distances[j, i] = d
+        return distances
+
+    @property
+    def root_actual_time(self) -> float:
+        if self.actual_times is None:
+            raise ValueError("plan was not executed; no labels available")
+        return float(self.actual_times[0])
+
+
+def catch_plan(plan: PlanNode) -> CaughtPlan:
+    """Extract features, tree structure, and labels from a plan tree."""
+    nodes: List[PlanNode] = []
+    heights: List[int] = []
+    parents: List[int] = []  # parent index per DFS position (-1 for root)
+
+    def visit(node: PlanNode, height: int, parent_index: int) -> None:
+        index = len(nodes)
+        nodes.append(node)
+        heights.append(height)
+        parents.append(parent_index)
+        for child in node.children:
+            visit(child, height + 1, index)
+
+    visit(plan, 0, -1)
+    n = len(nodes)
+
+    adjacency = np.zeros((n, n), dtype=bool)
+    for index in range(n):
+        adjacency[index, index] = True  # reflexivity
+        ancestor = parents[index]
+        while ancestor >= 0:  # transitivity up the parent chain
+            adjacency[ancestor, index] = True
+            ancestor = parents[ancestor]
+
+    executed = all(node.actual_time_ms is not None for node in nodes)
+    actual = (
+        np.array([node.actual_time_ms for node in nodes], dtype=np.float64)
+        if executed
+        else None
+    )
+    actual_rows = (
+        np.array([node.actual_rows for node in nodes], dtype=np.float64)
+        if executed
+        else None
+    )
+    return CaughtPlan(
+        nodes=nodes,
+        node_type_ids=np.array(
+            [NODE_TYPE_INDEX[node.node_type] for node in nodes], dtype=np.int64
+        ),
+        est_rows=np.array([node.est_rows for node in nodes], dtype=np.float64),
+        est_costs=np.array([node.est_cost for node in nodes], dtype=np.float64),
+        adjacency=adjacency,
+        heights=np.array(heights, dtype=np.int64),
+        parents=np.array(parents, dtype=np.int64),
+        actual_times=actual,
+        actual_rows=actual_rows,
+    )

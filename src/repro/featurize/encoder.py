@@ -1,0 +1,246 @@
+"""The plan encoder: one-hot node types + robust-scaled DBMS estimates.
+
+Per node the encoding is ``[one_hot(node_type, 16), scaled_card,
+scaled_cost]`` (d = 18, matching the paper).  The scaler is fit on the
+training plans only and log-transforms the heavy-tailed estimates before
+median/IQR scaling, as Zero-Shot's robust scaling does.
+
+Plans are batched with padding; a padded position's attention row lets it
+attend only to itself (avoiding NaN softmax rows) and its loss weight is 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.plan import NODE_TYPES, PlanNode
+from repro.featurize.catcher import CaughtPlan, catch_plan
+from repro.featurize.loss_weights import DEFAULT_ALPHA, loss_weights
+
+NUM_NODE_TYPES = len(NODE_TYPES)  # 16
+ENCODING_DIM = NUM_NODE_TYPES + 2  # + scaled card, scaled cost = 18
+LABEL_EPS_MS = 1e-3  # floor before taking log of latencies
+
+
+class RobustScaler:
+    """Median/IQR scaling after log1p, fit on training data only."""
+
+    def __init__(self) -> None:
+        self.center_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "RobustScaler":
+        """Fit on a (num_samples, num_features) array of raw estimates."""
+        logged = np.log1p(np.maximum(values, 0.0))
+        self.center_ = np.median(logged, axis=0)
+        q75, q25 = np.percentile(logged, [75, 25], axis=0)
+        iqr = q75 - q25
+        self.scale_ = np.where(iqr > 1e-12, iqr, 1.0)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.center_ is None:
+            raise RuntimeError("scaler must be fit before transform")
+        logged = np.log1p(np.maximum(values, 0.0))
+        return (logged - self.center_) / self.scale_
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def state(self) -> dict:
+        return {"center": self.center_, "scale": self.scale_}
+
+    def load_state(self, state: dict) -> None:
+        self.center_ = np.asarray(state["center"], dtype=np.float64)
+        self.scale_ = np.asarray(state["scale"], dtype=np.float64)
+
+
+@dataclass
+class EncodedBatch:
+    """A padded batch of encoded plans, ready for the model."""
+
+    features: np.ndarray      # (B, n_max, 18)
+    attention_mask: np.ndarray  # (B, n_max, n_max) bool
+    valid: np.ndarray         # (B, n_max) bool — real (non-padding) nodes
+    heights: np.ndarray       # (B, n_max) int
+    loss_weights: np.ndarray  # (B, n_max) float, 0 on padding
+    labels_log: Optional[np.ndarray]  # (B, n_max) log-latency, 0 on padding
+
+    @property
+    def batch_size(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def max_nodes(self) -> int:
+        return self.features.shape[1]
+
+
+NUM_EXTRA_FEATURES = 4
+
+
+class PlanEncoder:
+    """Encodes caught plans into padded model-ready batches.
+
+    ``card_source`` selects which cardinality feeds the encoding:
+    ``"estimated"`` (the DBMS estimate — DACE proper) or ``"actual"`` (the
+    true cardinality — the paper's DACE-A oracle variant, Fig 12).
+
+    ``extra_features`` appends the richer, *workload-dependent* per-node
+    features the WDM baselines' original designs consume — tuple width,
+    predicate count, raw literal magnitudes, operator mix.  These carry
+    data characteristics: they add in-distribution signal but shift under
+    template/data/database drift, which is exactly the fragility the paper
+    attributes to WDMs (DACE deliberately omits them; see Insight I).
+    """
+
+    def __init__(
+        self,
+        alpha: float = DEFAULT_ALPHA,
+        card_source: str = "estimated",
+        extra_features: bool = False,
+    ) -> None:
+        if card_source not in ("estimated", "actual"):
+            raise ValueError(f"unknown card_source {card_source!r}")
+        self.alpha = alpha
+        self.card_source = card_source
+        self.extra_features = extra_features
+        self.scaler = RobustScaler()
+
+    def _cards(self, plan: CaughtPlan) -> np.ndarray:
+        if self.card_source == "estimated":
+            return plan.est_rows
+        if plan.actual_rows is None:
+            raise ValueError(
+                "card_source='actual' needs executed plans with actual rows"
+            )
+        return plan.actual_rows
+
+    # ------------------------------------------------------------------ #
+    def fit(self, plans: Iterable[CaughtPlan]) -> "PlanEncoder":
+        """Fit the robust scaler on training plans' (card, cost) pairs."""
+        rows: List[np.ndarray] = []
+        for plan in plans:
+            rows.append(np.stack([self._cards(plan), plan.est_costs], axis=1))
+        if not rows:
+            raise ValueError("cannot fit encoder on an empty plan set")
+        self.scaler.fit(np.concatenate(rows, axis=0))
+        return self
+
+    @property
+    def is_fit(self) -> bool:
+        return self.scaler.center_ is not None
+
+    @property
+    def dim(self) -> int:
+        """Per-node encoding length."""
+        return ENCODING_DIM + (NUM_EXTRA_FEATURES if self.extra_features
+                               else 0)
+
+    def _extra(self, plan: CaughtPlan) -> np.ndarray:
+        """The workload-dependent extra features (n, 4): raw-scale width,
+        predicate count, mean literal magnitude, equality-operator mix."""
+        rows = []
+        for node in plan.nodes:
+            literals = [
+                p.value if p.op != "in" else float(np.mean(p.values))
+                for p in node.predicates
+            ]
+            if literals:
+                magnitude = float(np.mean([
+                    np.sign(v) * np.log1p(abs(v)) for v in literals
+                ])) / 10.0
+                eq_fraction = float(np.mean([
+                    1.0 if p.op in ("=", "in") else 0.0
+                    for p in node.predicates
+                ]))
+            else:
+                magnitude = 0.0
+                eq_fraction = 0.0
+            rows.append([
+                np.log1p(node.width) / 10.0,
+                len(node.predicates) / 4.0,
+                magnitude,
+                eq_fraction,
+            ])
+        return np.asarray(rows)
+
+    # ------------------------------------------------------------------ #
+    def encode_plan(self, plan: CaughtPlan) -> np.ndarray:
+        """Node encodings of shape (n, self.dim)."""
+        if not self.is_fit:
+            raise RuntimeError("encoder must be fit before encoding")
+        n = plan.num_nodes
+        one_hot = np.zeros((n, NUM_NODE_TYPES))
+        one_hot[np.arange(n), plan.node_type_ids] = 1.0
+        scaled = self.scaler.transform(
+            np.stack([self._cards(plan), plan.est_costs], axis=1)
+        )
+        parts = [one_hot, scaled]
+        if self.extra_features:
+            parts.append(self._extra(plan))
+        return np.concatenate(parts, axis=1)
+
+    def encode_batch(
+        self,
+        plans: Sequence[CaughtPlan],
+        with_labels: bool = True,
+    ) -> EncodedBatch:
+        """Pad a list of plans into one batch."""
+        if not plans:
+            raise ValueError("empty batch")
+        batch = len(plans)
+        n_max = max(plan.num_nodes for plan in plans)
+
+        features = np.zeros((batch, n_max, self.dim))
+        attention = np.zeros((batch, n_max, n_max), dtype=bool)
+        valid = np.zeros((batch, n_max), dtype=bool)
+        heights = np.zeros((batch, n_max), dtype=np.int64)
+        weights = np.zeros((batch, n_max))
+        labels: Optional[np.ndarray] = None
+        if with_labels:
+            labels = np.zeros((batch, n_max))
+
+        for index, plan in enumerate(plans):
+            n = plan.num_nodes
+            features[index, :n] = self.encode_plan(plan)
+            attention[index, :n, :n] = plan.adjacency
+            valid[index, :n] = True
+            heights[index, :n] = plan.heights
+            weights[index, :n] = loss_weights(plan.heights, self.alpha)
+            if with_labels:
+                if plan.actual_times is None:
+                    raise ValueError("plan has no labels; executed plans needed")
+                labels[index, :n] = np.log(
+                    np.maximum(plan.actual_times, LABEL_EPS_MS)
+                )
+            # Padding rows attend to themselves so softmax rows stay finite.
+            for pad in range(n, n_max):
+                attention[index, pad, pad] = True
+        return EncodedBatch(
+            features=features,
+            attention_mask=attention,
+            valid=valid,
+            heights=heights,
+            loss_weights=weights,
+            labels_log=labels,
+        )
+
+    # ------------------------------------------------------------------ #
+    def encode_plan_nodes(self, plan: PlanNode) -> EncodedBatch:
+        """Convenience: catch + encode a single raw plan (no labels)."""
+        return self.encode_batch([catch_plan(plan)], with_labels=False)
+
+    def state(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "card_source": self.card_source,
+            **self.scaler.state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.alpha = float(state["alpha"])
+        self.card_source = str(state.get("card_source", "estimated"))
+        self.scaler.load_state(state)

@@ -1,0 +1,24 @@
+"""The loss adjuster's tree-structure-based weights (paper eq. 4).
+
+``weight_i = alpha ** height_i``: the root gets weight 1, deeper nodes get
+exponentially smaller weights.  ``alpha = 0`` trains on the root only
+("DACE w/o SP"); ``alpha = 1`` weights every sub-plan equally, reproducing
+QPPNet's information redundancy ("DACE w/o LA"); the paper's value is 0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_ALPHA = 0.5
+
+
+def loss_weights(heights: np.ndarray, alpha: float = DEFAULT_ALPHA) -> np.ndarray:
+    """Per-node loss weights from node heights (eq. 4)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    heights = np.asarray(heights, dtype=np.float64)
+    if alpha == 0.0:
+        # 0**0 == 1 for the root; every other node gets 0.
+        return (heights == 0).astype(np.float64)
+    return alpha**heights

@@ -1,0 +1,20 @@
+"""Evaluation metrics and result-table formatting."""
+
+from repro.metrics.qerror import QErrorSummary, qerror_summary
+from repro.metrics.tables import format_table
+from repro.metrics.extended import (
+    RankQuality,
+    rank_quality,
+    underestimation_fraction,
+    uncertainty_calibration,
+)
+
+__all__ = [
+    "QErrorSummary",
+    "qerror_summary",
+    "format_table",
+    "RankQuality",
+    "rank_quality",
+    "underestimation_fraction",
+    "uncertainty_calibration",
+]

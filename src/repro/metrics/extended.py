@@ -1,0 +1,83 @@
+"""Extended evaluation metrics beyond q-error percentiles.
+
+These are the secondary metrics common in the QPP / learned-cost
+literature: rank correlation (does the model order queries correctly —
+what plan selection and SJF scheduling actually need), under/over-
+estimation balance, and uncertainty calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class RankQuality:
+    """How well predictions *order* queries by latency."""
+
+    spearman: float
+    kendall: float
+    pairwise_accuracy: float  # fraction of correctly ordered pairs
+
+
+def rank_quality(
+    est: np.ndarray, actual: np.ndarray, max_pairs: int = 200_000,
+    seed: int = 0,
+) -> RankQuality:
+    """Spearman/Kendall correlation plus sampled pairwise ordering accuracy."""
+    est = np.asarray(est, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if est.shape != actual.shape or est.size < 2:
+        raise ValueError("need two equally sized arrays of >= 2 values")
+    spearman = float(scipy_stats.spearmanr(est, actual).statistic)
+    kendall = float(scipy_stats.kendalltau(est, actual).statistic)
+
+    n = est.size
+    rng = np.random.default_rng(seed)
+    total_pairs = n * (n - 1) // 2
+    if total_pairs <= max_pairs:
+        i, j = np.triu_indices(n, k=1)
+    else:
+        i = rng.integers(0, n, size=max_pairs)
+        j = rng.integers(0, n, size=max_pairs)
+        keep = i != j
+        i, j = i[keep], j[keep]
+    actual_order = np.sign(actual[i] - actual[j])
+    est_order = np.sign(est[i] - est[j])
+    comparable = actual_order != 0
+    accuracy = float(
+        (actual_order[comparable] == est_order[comparable]).mean()
+    ) if comparable.any() else 1.0
+    return RankQuality(
+        spearman=spearman, kendall=kendall, pairwise_accuracy=accuracy
+    )
+
+
+def underestimation_fraction(est: np.ndarray, actual: np.ndarray) -> float:
+    """Fraction of queries whose latency is underestimated.
+
+    0.5 is balanced; far from 0.5 signals systematic bias (the dangerous
+    direction for admission control is underestimation).
+    """
+    est = np.asarray(est, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if est.shape != actual.shape or est.size == 0:
+        raise ValueError("need two equally sized non-empty arrays")
+    return float((est < actual).mean())
+
+
+def uncertainty_calibration(
+    sigma: np.ndarray, est: np.ndarray, actual: np.ndarray, bins: int = 5
+) -> float:
+    """Spearman correlation between predicted uncertainty and realized
+    log q-error — > 0 means the uncertainty signal is usable for fallback
+    gating (the deep-ensemble extension's purpose)."""
+    sigma = np.asarray(sigma, dtype=np.float64)
+    errors = np.log(np.maximum(est, 1e-12) / np.maximum(actual, 1e-12))
+    errors = np.abs(errors)
+    if sigma.std() == 0 or errors.std() == 0:
+        return 0.0
+    return float(scipy_stats.spearmanr(sigma, errors).statistic)

@@ -1,0 +1,58 @@
+"""q-error summaries in the paper's reporting format.
+
+Every accuracy table/figure in the paper reports q-error percentiles
+(median / 90th / 95th / 99th / max / mean); :func:`qerror_summary` computes
+exactly that row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.losses import qerror
+
+
+@dataclass(frozen=True)
+class QErrorSummary:
+    """One row of a paper-style accuracy table."""
+
+    median: float
+    p90: float
+    p95: float
+    p99: float
+    max: float
+    mean: float
+    count: int
+
+    def as_row(self) -> list:
+        return [self.median, self.p90, self.p95, self.p99, self.max, self.mean]
+
+    def __str__(self) -> str:
+        return (
+            f"median={self.median:.2f} 90th={self.p90:.2f} "
+            f"95th={self.p95:.2f} 99th={self.p99:.2f} "
+            f"max={self.max:.2f} mean={self.mean:.2f} (n={self.count})"
+        )
+
+
+def qerror_summary(est: np.ndarray, actual: np.ndarray) -> QErrorSummary:
+    """Summarize q-errors of predictions against actual latencies."""
+    est = np.asarray(est, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if est.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {est.shape} vs {actual.shape}")
+    if est.size == 0:
+        raise ValueError("cannot summarize empty predictions")
+    errors = qerror(est, actual)
+    percentiles = np.percentile(errors, [50, 90, 95, 99])
+    return QErrorSummary(
+        median=float(percentiles[0]),
+        p90=float(percentiles[1]),
+        p95=float(percentiles[2]),
+        p99=float(percentiles[3]),
+        max=float(errors.max()),
+        mean=float(errors.mean()),
+        count=int(errors.size),
+    )

@@ -1,0 +1,67 @@
+"""Minimal reverse-mode autodiff neural-network framework on numpy.
+
+This package substitutes for PyTorch in the DACE reproduction.  It provides
+exactly the pieces the paper's models need: a :class:`~repro.nn.tensor.Tensor`
+with reverse-mode autodiff and broadcasting, standard layers, masked
+attention, Adam/SGD optimizers, LoRA adapters, weighted q-error losses, and
+``.npz`` state-dict serialization.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.attention import masked_self_attention
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedulers import CosineLR, LRScheduler, StepLR, clip_grad_norm
+from repro.nn.losses import (
+    huber_loss,
+    log_qerror_loss,
+    mse_loss,
+    pinball_loss,
+    qerror,
+)
+from repro.nn.lora import LoRALinear
+from repro.nn.init import kaiming_uniform, xavier_uniform
+from repro.nn.serialize import load_state_dict, save_state_dict
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "LayerNorm",
+    "Embedding",
+    "masked_self_attention",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CosineLR",
+    "clip_grad_norm",
+    "qerror",
+    "log_qerror_loss",
+    "pinball_loss",
+    "mse_loss",
+    "huber_loss",
+    "LoRALinear",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,95 @@
+"""Loss functions and the q-error metric.
+
+The paper's training loss (eq. 7) is a per-node weighted q-error.  Training
+directly on the q-error ratio is numerically unstable, so — as in the
+authors' released code — models predict log-latency and minimize the
+*log q-error* ``|pred_log - true_log| = log(qerror)``, which is a monotone
+transform of eq. 1 and therefore optimizes the same objective.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+
+def qerror(est: np.ndarray, actual: np.ndarray, floor: float = 1e-9) -> np.ndarray:
+    """q-error (paper eq. 1): ``max(est, actual) / min(est, actual)``.
+
+    Both inputs are clipped to ``floor`` so the ratio is always finite and
+    at least 1.
+    """
+    est = np.maximum(np.asarray(est, dtype=np.float64), floor)
+    actual = np.maximum(np.asarray(actual, dtype=np.float64), floor)
+    return np.maximum(est, actual) / np.minimum(est, actual)
+
+
+def log_qerror_loss(
+    pred_log: Tensor,
+    target_log: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Weighted mean absolute error in log space (= mean log q-error).
+
+    Args:
+        pred_log: predicted log-latencies, any shape.
+        target_log: true log-latencies, same shape.
+        weights: optional non-negative per-element loss weights (the loss
+            adjuster's ``alpha ** height``); entries with weight 0 (e.g.
+            padding) contribute nothing.
+    """
+    target = Tensor(target_log)
+    diff = (pred_log - target).abs()
+    if weights is None:
+        return diff.mean()
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("loss weights sum to zero")
+    return (diff * Tensor(weights)).sum() * (1.0 / total)
+
+
+def pinball_loss(
+    pred_log: Tensor,
+    target_log: np.ndarray,
+    tau: float,
+    weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Quantile (pinball) loss in log space.
+
+    Minimizing it makes ``pred_log`` estimate the ``tau``-quantile of the
+    conditional log-latency: ``tau = 0.5`` recovers the median (the
+    standard objective), ``tau = 0.95`` yields a calibrated latency *upper
+    bound* — the quantity SLA admission control actually needs.
+    """
+    if not 0.0 < tau < 1.0:
+        raise ValueError(f"tau must be in (0, 1), got {tau}")
+    target = Tensor(target_log)
+    diff = target - pred_log  # positive when the model underestimates
+    loss = Tensor.maximum(diff * tau, diff * (tau - 1.0))
+    if weights is None:
+        return loss.mean()
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("loss weights sum to zero")
+    return (loss * Tensor(weights)).sum() * (1.0 / total)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    diff = pred - Tensor(target)
+    return (diff * diff).mean()
+
+
+def huber_loss(pred: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
+    """Smooth L1: quadratic near zero, linear in the tails."""
+    diff = pred - Tensor(target)
+    abs_diff = diff.abs()
+    quadratic = diff * diff * 0.5
+    linear = abs_diff * delta - 0.5 * delta * delta
+    return Tensor.where(abs_diff.data <= delta, quadratic, linear).mean()

@@ -1,0 +1,24 @@
+"""State-dict persistence to ``.npz`` files."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state_dict(module: Module, path: str) -> None:
+    """Write a module's parameters to ``path`` (``.npz``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **module.state_dict())
+
+
+def load_state_dict(module: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_state_dict` into ``module``."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

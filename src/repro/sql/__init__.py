@@ -1,0 +1,15 @@
+"""Query representation: SPJ(+aggregate) query specs, generation, SQL text."""
+
+from repro.sql.query import Join, Predicate, Query
+from repro.sql.generator import QueryGenerator, WorkloadSpec
+from repro.sql.text import parse_query, render_sql
+
+__all__ = [
+    "Predicate",
+    "Join",
+    "Query",
+    "QueryGenerator",
+    "WorkloadSpec",
+    "render_sql",
+    "parse_query",
+]

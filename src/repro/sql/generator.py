@@ -1,0 +1,171 @@
+"""Random query generation over a database's FK join graph.
+
+The generator walks the schema's join graph to pick a connected set of
+tables (so no cross products), joins them along FK edges, and attaches
+filters whose constants are drawn from the *actual data* so predicates are
+never trivially empty — the same procedure Zero-Shot and MSCN use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.catalog.datagen import NULL_SENTINEL, Database
+from repro.sql.query import Join, Predicate, Query
+
+
+@dataclass
+class WorkloadSpec:
+    """Knobs controlling the distribution of generated queries."""
+
+    max_joins: int = 4
+    max_predicates: int = 4
+    min_predicates: int = 0
+    eq_fraction: float = 0.5       # equality vs range predicates
+    in_fraction: float = 0.0       # fraction of predicates that are IN lists
+    max_in_values: int = 5
+    group_by_fraction: float = 0.0  # fraction of queries with GROUP BY
+    aggregate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_joins < 0 or self.max_predicates < self.min_predicates:
+            raise ValueError("inconsistent workload spec")
+        if not 0.0 <= self.in_fraction <= 1.0:
+            raise ValueError("in_fraction must be in [0, 1]")
+        if not 0.0 <= self.group_by_fraction <= 1.0:
+            raise ValueError("group_by_fraction must be in [0, 1]")
+
+
+class QueryGenerator:
+    """Seeded random generator of valid SPJ queries for one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        spec: Optional[WorkloadSpec] = None,
+        seed: int = 0,
+        allowed_tables: Optional[List[str]] = None,
+    ) -> None:
+        """``allowed_tables`` restricts queries to a schema subset — used
+        to construct "new schema" drift splits (Drift II): train on a
+        subset, test on queries touching the held-out tables."""
+        self.database = database
+        self.spec = spec if spec is not None else WorkloadSpec()
+        self.rng = np.random.default_rng(seed)
+        graph = database.schema.join_graph()
+        if allowed_tables is not None:
+            unknown = set(allowed_tables) - set(database.schema.tables)
+            if unknown:
+                raise KeyError(f"unknown tables {sorted(unknown)}")
+            graph = graph.subgraph(allowed_tables).copy()
+        self._join_graph = graph
+        self._allowed_tables = (
+            list(allowed_tables) if allowed_tables is not None
+            else list(database.schema.tables)
+        )
+
+    # ------------------------------------------------------------------ #
+    def _pick_tables_and_joins(self, num_joins: int):
+        """Random connected subtree of the join graph with num_joins edges."""
+        schema = self.database.schema
+        tables = [str(self.rng.choice(self._allowed_tables))]
+        joins: List[Join] = []
+        for _ in range(num_joins):
+            frontier = []
+            for table in tables:
+                for neighbor in self._join_graph.neighbors(table):
+                    if neighbor not in tables:
+                        frontier.append((table, neighbor))
+            if not frontier:
+                break
+            index = int(self.rng.integers(len(frontier)))
+            existing, new = frontier[index]
+            fks = schema.foreign_keys_between(existing, new)
+            fk = fks[int(self.rng.integers(len(fks)))]
+            tables.append(new)
+            joins.append(
+                Join(fk.child_table, fk.child_column,
+                     fk.parent_table, fk.parent_column)
+            )
+        return tables, joins
+
+    def _filterable_columns(self, table: str):
+        schema_table = self.database.schema.table(table)
+        return [
+            c for c in schema_table.columns if c.kind in ("int", "float")
+        ]
+
+    def _make_predicate(self, table: str) -> Optional[Predicate]:
+        candidates = self._filterable_columns(table)
+        if not candidates:
+            return None
+        column = candidates[int(self.rng.integers(len(candidates)))]
+        values = self.database.column_array(table, column.name)
+        if values.dtype == np.int64:
+            non_null = values[values != NULL_SENTINEL]
+        else:
+            non_null = values[np.isfinite(values)]
+        if non_null.size == 0:
+            return None
+        anchor = float(non_null[int(self.rng.integers(non_null.size))])
+        if column.kind == "int" and self.rng.random() < self.spec.in_fraction:
+            count = int(self.rng.integers(2, self.spec.max_in_values + 1))
+            picks = non_null[self.rng.integers(non_null.size, size=count)]
+            values = tuple(sorted({float(int(v)) for v in picks}))
+            if len(values) >= 2:
+                return Predicate(
+                    table=table, column=column.name, op="in", values=values
+                )
+        use_eq = (
+            column.kind == "int" and self.rng.random() < self.spec.eq_fraction
+        )
+        if use_eq:
+            op = "="
+            value = anchor
+        else:
+            op = str(self.rng.choice(["<", ">", "<=", ">="]))
+            value = anchor
+        if column.kind == "int":
+            value = float(int(value))
+        return Predicate(table=table, column=column.name, op=op, value=value)
+
+    # ------------------------------------------------------------------ #
+    def generate(self) -> Query:
+        """Generate one valid, connected query."""
+        spec = self.spec
+        num_joins = int(self.rng.integers(0, spec.max_joins + 1))
+        tables, joins = self._pick_tables_and_joins(num_joins)
+        num_predicates = int(
+            self.rng.integers(spec.min_predicates, spec.max_predicates + 1)
+        )
+        predicates: List[Predicate] = []
+        attempts = 0
+        while len(predicates) < num_predicates and attempts < num_predicates * 4:
+            attempts += 1
+            table = tables[int(self.rng.integers(len(tables)))]
+            predicate = self._make_predicate(table)
+            if predicate is not None:
+                predicates.append(predicate)
+        group_by = None
+        if spec.aggregate and self.rng.random() < spec.group_by_fraction:
+            group_table = tables[int(self.rng.integers(len(tables)))]
+            candidates = self._filterable_columns(group_table)
+            if candidates:
+                column = candidates[int(self.rng.integers(len(candidates)))]
+                if column.kind == "int":
+                    group_by = (group_table, column.name)
+        query = Query(
+            tables=tables,
+            joins=joins,
+            predicates=predicates,
+            aggregate=spec.aggregate,
+            group_by=group_by,
+        )
+        query.validate_against(self.database.schema)
+        return query
+
+    def generate_many(self, count: int) -> List[Query]:
+        return [self.generate() for _ in range(count)]

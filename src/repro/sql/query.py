@@ -1,0 +1,154 @@
+"""Query specification: select-project-join queries with optional aggregate.
+
+This is the query class every workload in the paper uses (the Zero-Shot
+complex workload, the MSCN synthetic/scale/JOB-light workloads are all
+SPJ+aggregate over FK equi-joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.catalog.schema import Schema
+
+COMPARISON_OPS = ("=", "<", ">", "<=", ">=", "!=", "in")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A filter over a numeric/categorical column.
+
+    Either a comparison ``table.column op value`` or a membership test
+    ``table.column IN (v1, v2, ...)`` (op ``"in"`` with ``values`` set;
+    ``value`` is ignored for IN).
+    """
+
+    table: str
+    column: str
+    op: str
+    value: float = 0.0
+    values: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown predicate operator {self.op!r}")
+        if self.op == "in":
+            if not self.values:
+                raise ValueError("IN predicate needs a non-empty value list")
+            object.__setattr__(self, "values", tuple(self.values))
+        elif self.values is not None:
+            raise ValueError(f"op {self.op!r} does not take a value list")
+
+    def __str__(self) -> str:
+        if self.op == "in":
+            inner = ", ".join(f"{v:g}" for v in self.values)
+            return f"{self.table}.{self.column} IN ({inner})"
+        return f"{self.table}.{self.column} {self.op} {self.value:g}"
+
+
+@dataclass(frozen=True)
+class Join:
+    """An equi-join ``left.left_column = right.right_column`` (an FK edge)."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.left_table}.{self.left_column} = "
+            f"{self.right_table}.{self.right_column}"
+        )
+
+    def tables(self) -> Tuple[str, str]:
+        return (self.left_table, self.right_table)
+
+
+@dataclass
+class Query:
+    """An SPJ(+COUNT aggregate) query over a schema.
+
+    Attributes:
+        tables: the FROM list.
+        joins: equi-join conditions connecting the tables.
+        predicates: conjunctive filters.
+        aggregate: when True the query computes COUNT(*) (the shape of
+            every MSCN-benchmark query); otherwise it returns rows.
+        group_by: optional ``(table, column)`` — COUNT(*) per group.
+    """
+
+    tables: List[str]
+    joins: List[Join] = field(default_factory=list)
+    predicates: List[Predicate] = field(default_factory=list)
+    aggregate: bool = True
+    group_by: Optional[Tuple[str, str]] = None
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError("query must reference at least one table")
+        if len(set(self.tables)) != len(self.tables):
+            raise ValueError("duplicate tables (self-joins are unsupported)")
+        referenced = set()
+        for join in self.joins:
+            referenced.update(join.tables())
+        if referenced - set(self.tables):
+            raise ValueError(f"joins reference tables not in FROM: {referenced}")
+        for predicate in self.predicates:
+            if predicate.table not in self.tables:
+                raise ValueError(
+                    f"predicate on table {predicate.table!r} not in FROM"
+                )
+        if self.group_by is not None:
+            self.group_by = (str(self.group_by[0]), str(self.group_by[1]))
+            if self.group_by[0] not in self.tables:
+                raise ValueError(
+                    f"GROUP BY table {self.group_by[0]!r} not in FROM"
+                )
+            if not self.aggregate:
+                raise ValueError("GROUP BY requires an aggregate query")
+
+    @property
+    def num_joins(self) -> int:
+        return len(self.joins)
+
+    def predicates_on(self, table: str) -> List[Predicate]:
+        return [p for p in self.predicates if p.table == table]
+
+    def join_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(self.tables)
+        for join in self.joins:
+            graph.add_edge(join.left_table, join.right_table, join=join)
+        return graph
+
+    def is_connected(self) -> bool:
+        """True when the join graph has no cross products."""
+        return nx.is_connected(self.join_graph())
+
+    def joins_between(self, group_a: Sequence[str], group_b: Sequence[str]):
+        """Joins with one side in each group (used by the planner)."""
+        set_a, set_b = set(group_a), set(group_b)
+        found = []
+        for join in self.joins:
+            left, right = join.tables()
+            if (left in set_a and right in set_b) or (
+                left in set_b and right in set_a
+            ):
+                found.append(join)
+        return found
+
+    def validate_against(self, schema: Schema) -> None:
+        """Check every referenced table/column exists in ``schema``."""
+        for table in self.tables:
+            schema.table(table)
+        for predicate in self.predicates:
+            schema.table(predicate.table).column(predicate.column)
+        for join in self.joins:
+            schema.table(join.left_table).column(join.left_column)
+            schema.table(join.right_table).column(join.right_column)
+        if self.group_by is not None:
+            schema.table(self.group_by[0]).column(self.group_by[1])

@@ -1,0 +1,123 @@
+"""SQL text rendering and a small parser for the supported query shape.
+
+``render_sql`` produces standard SQL for any :class:`~repro.sql.query.Query`;
+``parse_query`` parses the same dialect back (used by the examples and to
+let users hand-write queries).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.sql.query import Join, Predicate, Query
+
+_QUALIFIED = r"(\w+)\.(\w+)"
+_NUMBER = r"-?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?"
+_JOIN_RE = re.compile(rf"^{_QUALIFIED}\s*=\s*{_QUALIFIED}$")
+_PRED_RE = re.compile(rf"^{_QUALIFIED}\s*(<=|>=|!=|=|<|>)\s*({_NUMBER})$")
+_IN_RE = re.compile(
+    rf"^{_QUALIFIED}\s+IN\s*\(\s*({_NUMBER}(?:\s*,\s*{_NUMBER})*)\s*\)$",
+    flags=re.IGNORECASE,
+)
+
+
+def _render_value(value: float) -> str:
+    return f"{int(value)}" if float(value).is_integer() else f"{value}"
+
+
+def render_sql(query: Query) -> str:
+    """Render a query spec as SQL text."""
+    if query.group_by is not None:
+        group = f"{query.group_by[0]}.{query.group_by[1]}"
+        select = f"{group}, COUNT(*)"
+    else:
+        select = "COUNT(*)" if query.aggregate else "*"
+    sql = [f"SELECT {select}", f"FROM {', '.join(query.tables)}"]
+    conditions: List[str] = [str(join) for join in query.joins]
+    for predicate in query.predicates:
+        if predicate.op == "in":
+            inner = ", ".join(_render_value(v) for v in predicate.values)
+            conditions.append(
+                f"{predicate.table}.{predicate.column} IN ({inner})"
+            )
+        else:
+            conditions.append(
+                f"{predicate.table}.{predicate.column} {predicate.op} "
+                f"{_render_value(predicate.value)}"
+            )
+    if conditions:
+        sql.append("WHERE " + " AND ".join(conditions))
+    if query.group_by is not None:
+        sql.append(f"GROUP BY {query.group_by[0]}.{query.group_by[1]}")
+    return " ".join(sql) + ";"
+
+
+def parse_query(sql: str) -> Query:
+    """Parse SQL of the shape produced by :func:`render_sql`.
+
+    Supported grammar::
+
+        SELECT COUNT(*) | * | t.c, COUNT(*)
+        FROM t1, t2, ...
+        [WHERE cond AND cond ...]
+        [GROUP BY t.c];
+
+    where each cond is ``a.x = b.y`` (join), ``a.x op number`` (predicate),
+    or ``a.x IN (n1, n2, ...)``.
+    """
+    text = sql.strip().rstrip(";").strip()
+    match = re.match(
+        r"^SELECT\s+(.+?)\s+FROM\s+(.+?)"
+        r"(?:\s+WHERE\s+(.+?))?"
+        r"(?:\s+GROUP\s+BY\s+(\w+)\.(\w+))?$",
+        text,
+        flags=re.IGNORECASE | re.DOTALL,
+    )
+    if not match:
+        raise ValueError(f"unsupported SQL: {sql!r}")
+    select = match.group(1).strip()
+    aggregate = "COUNT(*)" in select.upper()
+    if not aggregate and select != "*":
+        raise ValueError(f"unsupported SELECT list: {select!r}")
+    tables = [t.strip() for t in match.group(2).split(",") if t.strip()]
+    joins: List[Join] = []
+    predicates: List[Predicate] = []
+    if match.group(3):
+        for condition in re.split(
+            r"\s+AND\s+", match.group(3), flags=re.IGNORECASE
+        ):
+            condition = condition.strip()
+            join_match = _JOIN_RE.match(condition)
+            # A join has qualified columns on both sides; check before
+            # predicates since "a.x = 3" also contains "=".
+            if join_match:
+                joins.append(Join(*join_match.groups()))
+                continue
+            in_match = _IN_RE.match(condition)
+            if in_match:
+                table, column, values_text = in_match.groups()
+                values = tuple(
+                    float(v) for v in re.split(r"\s*,\s*", values_text)
+                )
+                predicates.append(
+                    Predicate(table=table, column=column, op="in",
+                              values=values)
+                )
+                continue
+            pred_match = _PRED_RE.match(condition)
+            if pred_match:
+                table, column, op, value = pred_match.groups()
+                predicates.append(
+                    Predicate(table=table, column=column, op=op,
+                              value=float(value))
+                )
+                continue
+            raise ValueError(f"unsupported condition: {condition!r}")
+    group_by = None
+    if match.group(4):
+        group_by = (match.group(4), match.group(5))
+    return Query(
+        tables=tables, joins=joins, predicates=predicates,
+        aggregate=aggregate, group_by=group_by,
+    )

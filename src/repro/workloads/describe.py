@@ -1,0 +1,104 @@
+"""Workload description: what's actually in a labelled dataset.
+
+Summarizes the distributions a practitioner checks before training on a
+workload: latency percentiles, join-count and plan-size histograms,
+operator mix, and how far the optimizer's costs track the labels.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.metrics.tables import format_table
+from repro.workloads.dataset import PlanDataset
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """Structured description of a plan dataset."""
+
+    queries: int
+    databases: List[str]
+    latency_percentiles_ms: Dict[str, float]
+    join_histogram: Dict[int, int]
+    node_count_percentiles: Dict[str, float]
+    operator_mix: Dict[str, int]
+    cost_latency_correlation: float  # log-log Pearson
+
+
+def describe(dataset: PlanDataset) -> WorkloadSummary:
+    """Compute the summary for ``dataset``."""
+    if len(dataset) == 0:
+        raise ValueError("empty dataset")
+    latencies = dataset.latencies()
+    costs = dataset.est_costs()
+    node_counts = np.array([s.num_nodes for s in dataset])
+    joins = Counter(s.query.num_joins for s in dataset)
+    operators = Counter(
+        node.node_type for s in dataset for node in s.plan.walk_dfs()
+    )
+    if latencies.std() > 0 and costs.std() > 0:
+        correlation = float(np.corrcoef(
+            np.log1p(costs), np.log(np.maximum(latencies, 1e-9))
+        )[0, 1])
+    else:
+        correlation = 0.0
+
+    def percentiles(values: np.ndarray) -> Dict[str, float]:
+        p50, p90, p99 = np.percentile(values, [50, 90, 99])
+        return {
+            "min": float(values.min()),
+            "p50": float(p50),
+            "p90": float(p90),
+            "p99": float(p99),
+            "max": float(values.max()),
+        }
+
+    return WorkloadSummary(
+        queries=len(dataset),
+        databases=dataset.database_names(),
+        latency_percentiles_ms=percentiles(latencies),
+        join_histogram=dict(sorted(joins.items())),
+        node_count_percentiles=percentiles(node_counts),
+        operator_mix=dict(operators.most_common()),
+        cost_latency_correlation=correlation,
+    )
+
+
+def describe_text(dataset: PlanDataset) -> str:
+    """Human-readable rendering of :func:`describe`."""
+    summary = describe(dataset)
+    lines = [
+        f"{summary.queries} labelled queries over "
+        f"{', '.join(summary.databases)}",
+        "",
+        format_table(
+            ["metric", "min", "p50", "p90", "p99", "max"],
+            [
+                ["latency (ms)"] + [
+                    summary.latency_percentiles_ms[k]
+                    for k in ("min", "p50", "p90", "p99", "max")
+                ],
+                ["plan nodes"] + [
+                    summary.node_count_percentiles[k]
+                    for k in ("min", "p50", "p90", "p99", "max")
+                ],
+            ],
+        ),
+        "",
+        "joins: " + "  ".join(
+            f"{joins}j×{count}"
+            for joins, count in summary.join_histogram.items()
+        ),
+        "operators: " + "  ".join(
+            f"{name}×{count}"
+            for name, count in list(summary.operator_mix.items())[:8]
+        ),
+        f"log(cost) / log(latency) correlation: "
+        f"{summary.cost_latency_correlation:.3f}",
+    ]
+    return "\n".join(lines)

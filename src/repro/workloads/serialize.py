@@ -1,0 +1,130 @@
+"""Dataset persistence: save/load labelled plan datasets as JSON.
+
+Collecting labels (simulated execution) is the expensive step of every
+experiment; persisting a :class:`~repro.workloads.dataset.PlanDataset`
+makes workloads reusable across processes, exactly like keeping the
+EXPLAIN ANALYZE dumps the paper's pipeline collects from PostgreSQL.
+
+The format is line-delimited JSON: one sample per line, each holding the
+query spec and the full plan tree with estimates and labels.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.engine.plan import PlanNode
+from repro.sql.query import Join, Predicate, Query
+from repro.workloads.dataset import PlanDataset, PlanSample
+
+
+def _predicate_from_list(item) -> Predicate:
+    # Older dumps have 4 fields (no IN support); new ones carry `values`.
+    table, column, op, value = item[:4]
+    values = tuple(item[4]) if len(item) > 4 and item[4] else None
+    return Predicate(table=table, column=column, op=op, value=value,
+                     values=values)
+
+
+def _plan_to_dict(node: PlanNode) -> dict:
+    return {
+        "node_type": node.node_type,
+        "est_rows": node.est_rows,
+        "est_cost": node.est_cost,
+        "est_startup_cost": node.est_startup_cost,
+        "width": node.width,
+        "table": node.table,
+        "index_column": node.index_column,
+        "predicates": [
+            [p.table, p.column, p.op, p.value, p.values]
+            for p in node.predicates
+        ],
+        "join": (
+            [node.join.left_table, node.join.left_column,
+             node.join.right_table, node.join.right_column]
+            if node.join else None
+        ),
+        "actual_rows": node.actual_rows,
+        "actual_time_ms": node.actual_time_ms,
+        "fetched_rows": node.fetched_rows,
+        "children": [_plan_to_dict(child) for child in node.children],
+    }
+
+
+def _plan_from_dict(data: dict) -> PlanNode:
+    return PlanNode(
+        node_type=data["node_type"],
+        est_rows=data["est_rows"],
+        est_cost=data["est_cost"],
+        est_startup_cost=data["est_startup_cost"],
+        width=data["width"],
+        table=data["table"],
+        index_column=data["index_column"],
+        predicates=[_predicate_from_list(p) for p in data["predicates"]],
+        join=Join(*data["join"]) if data["join"] else None,
+        actual_rows=data["actual_rows"],
+        actual_time_ms=data["actual_time_ms"],
+        fetched_rows=data["fetched_rows"],
+        children=[_plan_from_dict(child) for child in data["children"]],
+    )
+
+
+def _query_to_dict(query: Query) -> dict:
+    return {
+        "tables": query.tables,
+        "joins": [
+            [j.left_table, j.left_column, j.right_table, j.right_column]
+            for j in query.joins
+        ],
+        "predicates": [
+            [p.table, p.column, p.op, p.value, p.values]
+            for p in query.predicates
+        ],
+        "aggregate": query.aggregate,
+        "group_by": list(query.group_by) if query.group_by else None,
+    }
+
+
+def _query_from_dict(data: dict) -> Query:
+    group_by = data.get("group_by")
+    return Query(
+        tables=list(data["tables"]),
+        joins=[Join(*j) for j in data["joins"]],
+        predicates=[_predicate_from_list(p) for p in data["predicates"]],
+        aggregate=data["aggregate"],
+        group_by=tuple(group_by) if group_by else None,
+    )
+
+
+def save_dataset(dataset: PlanDataset, path: str) -> None:
+    """Write a dataset to ``path`` as line-delimited JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        for sample in dataset:
+            handle.write(json.dumps({
+                "database": sample.database_name,
+                "query": _query_to_dict(sample.query),
+                "plan": _plan_to_dict(sample.plan),
+            }) + "\n")
+
+
+def load_dataset(path: str, limit: Optional[int] = None) -> PlanDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    samples: List[PlanSample] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            samples.append(PlanSample(
+                plan=_plan_from_dict(record["plan"]),
+                query=_query_from_dict(record["query"]),
+                database_name=record["database"],
+            ))
+            if limit is not None and len(samples) >= limit:
+                break
+    return PlanDataset(samples)

@@ -1,0 +1,70 @@
+"""Workloads 1 and 2: Zero-Shot-style complex queries across the zoo.
+
+Workload 1 runs each database's queries on machine M1; workload 2 runs the
+*same query statements* on machine M2 (the "across-more" scenario).  Per the
+paper each database gets its own generated workload; the leave-one-out
+protocol (train on 19, test on 1) is applied by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import zlib
+
+from repro.catalog.zoo import ZOO_DATABASE_NAMES, load_database
+from repro.engine.machines import M1, M2, MachineProfile
+from repro.sql.generator import QueryGenerator, WorkloadSpec
+from repro.sql.query import Query
+from repro.workloads.dataset import PlanDataset, collect_workload
+
+COMPLEX_SPEC = WorkloadSpec(
+    max_joins=5, max_predicates=5, min_predicates=1, eq_fraction=0.45
+)
+
+
+def generate_queries(
+    database_name: str,
+    count: int,
+    spec: WorkloadSpec = COMPLEX_SPEC,
+    seed_offset: int = 0,
+) -> List[Query]:
+    """The deterministic query statements for one zoo database."""
+    database = load_database(database_name)
+    seed = zlib.crc32(database_name.encode()) + 7919 * seed_offset
+    return QueryGenerator(database, spec, seed=seed).generate_many(count)
+
+
+def _workload(
+    machine: MachineProfile,
+    queries_per_db: int,
+    database_names: Optional[Sequence[str]],
+    seed: int,
+) -> Dict[str, PlanDataset]:
+    names = list(database_names) if database_names else list(ZOO_DATABASE_NAMES)
+    datasets: Dict[str, PlanDataset] = {}
+    for name in names:
+        database = load_database(name)
+        queries = generate_queries(name, queries_per_db)
+        datasets[name] = collect_workload(
+            database, queries, machine=machine, seed=seed
+        )
+    return datasets
+
+
+def workload1(
+    queries_per_db: int = 500,
+    database_names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> Dict[str, PlanDataset]:
+    """Complex queries per database, labels collected on machine M1."""
+    return _workload(M1, queries_per_db, database_names, seed)
+
+
+def workload2(
+    queries_per_db: int = 500,
+    database_names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> Dict[str, PlanDataset]:
+    """The same statements as workload 1, labels collected on machine M2."""
+    return _workload(M2, queries_per_db, database_names, seed + 1)

@@ -1,0 +1,129 @@
+"""What-if index advising."""
+
+import numpy as np
+import pytest
+
+from repro.apps import IndexAdvisor
+from repro.catalog import load_database
+from repro.engine import EngineSession
+from repro.engine.planner import Planner
+from repro.sql import QueryGenerator, WorkloadSpec
+from repro.sql.query import Predicate, Query
+
+
+@pytest.fixture(scope="module")
+def imdb_session():
+    return EngineSession(load_database("imdb"), seed=0)
+
+
+@pytest.fixture(scope="module")
+def filter_workload(imdb_session):
+    generator = QueryGenerator(
+        imdb_session.database,
+        WorkloadSpec(max_joins=1, min_predicates=1, max_predicates=2,
+                     eq_fraction=0.8),
+        seed=9,
+    )
+    return generator.generate_many(50)
+
+
+class TestWhatIfPlanning:
+    def test_extra_indexes_extend_inventory(self, imdb_session):
+        base = imdb_session.planner.indexed_columns("title")
+        planner = Planner(
+            imdb_session.database.schema,
+            imdb_session.estimator,
+            extra_indexes={"title": ["production_year"]},
+        )
+        extended = planner.indexed_columns("title")
+        assert set(extended) == set(base) | {"production_year"}
+
+    def test_extra_index_on_missing_column_rejected(self, imdb_session):
+        planner = Planner(
+            imdb_session.database.schema,
+            imdb_session.estimator,
+            extra_indexes={"title": ["no_such_column"]},
+        )
+        with pytest.raises(KeyError):
+            planner.indexed_columns("title")
+
+    def test_hypothetical_index_changes_plan(self, imdb_session):
+        query = Query(
+            tables=["title"],
+            predicates=[Predicate("title", "production_year", "=", 2000)],
+        )
+        base_plan = imdb_session.planner.plan(query)
+        what_if = Planner(
+            imdb_session.database.schema,
+            imdb_session.estimator,
+            imdb_session.planner.cost_model,
+            extra_indexes={"title": ["production_year"]},
+        )
+        new_plan = what_if.plan(query)
+        # Selective equality on a newly indexed column: cheaper plan.
+        assert new_plan.est_cost < base_plan.est_cost
+
+
+class TestAdvisor:
+    def test_validation(self, imdb_session):
+        with pytest.raises(ValueError):
+            IndexAdvisor(imdb_session, max_indexes=0)
+        advisor = IndexAdvisor(imdb_session)
+        with pytest.raises(ValueError):
+            advisor.advise([])
+
+    def test_candidates_are_unindexed_filter_columns(self, imdb_session,
+                                                     filter_workload):
+        advisor = IndexAdvisor(imdb_session)
+        candidates = advisor.candidate_indexes(filter_workload)
+        for table, column in candidates:
+            assert column not in imdb_session.planner.indexed_columns(table)
+
+    def test_advise_improves_estimated_cost(self, imdb_session,
+                                            filter_workload):
+        advisor = IndexAdvisor(imdb_session, max_indexes=3)
+        result = advisor.advise(filter_workload)
+        assert result.final_score <= result.base_score
+        assert len(result.recommendations) <= 3
+        rounds = [r.round for r in result.recommendations]
+        assert rounds == sorted(rounds)
+        for recommendation in result.recommendations:
+            assert recommendation.estimated_benefit > 0
+
+    def test_benefits_decrease_across_rounds(self, imdb_session,
+                                             filter_workload):
+        advisor = IndexAdvisor(imdb_session, max_indexes=3)
+        result = advisor.advise(filter_workload)
+        benefits = [r.estimated_benefit for r in result.recommendations]
+        if len(benefits) >= 2:
+            assert benefits == sorted(benefits, reverse=True)
+
+    def test_evaluate_reports_actual_speedup(self, imdb_session,
+                                             filter_workload):
+        advisor = IndexAdvisor(imdb_session, max_indexes=2)
+        result = advisor.advise(filter_workload)
+        evaluation = advisor.evaluate(filter_workload, result)
+        assert evaluation["base_latency_ms"] > 0
+        assert evaluation["indexed_latency_ms"] > 0
+        # Recommended indexes must not slow the simulated workload much.
+        assert evaluation["actual_speedup"] > 0.9
+
+    def test_high_threshold_recommends_nothing(self, imdb_session,
+                                               filter_workload):
+        advisor = IndexAdvisor(imdb_session, min_improvement=0.99)
+        result = advisor.advise(filter_workload)
+        assert result.recommendations == []
+        assert result.estimated_speedup == pytest.approx(1.0)
+
+    def test_learned_scorer(self, imdb_session, filter_workload,
+                            train_datasets):
+        from repro.core import DACE, TrainingConfig
+        dace = DACE(
+            training=TrainingConfig(epochs=10, batch_size=32, lr=2e-3),
+            seed=0,
+        ).fit(train_datasets)
+        advisor = IndexAdvisor(
+            imdb_session, scorer=dace.predict_plan, max_indexes=2
+        )
+        result = advisor.advise(filter_workload[:25])
+        assert result.final_score <= result.base_score

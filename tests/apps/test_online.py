@@ -1,0 +1,106 @@
+"""Online workload simulation: arrivals, SJF priority, admission control."""
+
+import numpy as np
+import pytest
+
+from repro.apps import OnlineWorkloadSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return OnlineWorkloadSimulator(workers=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def perfect(imdb_workload):
+    return imdb_workload.latencies()
+
+
+class TestValidation:
+    def test_worker_count(self):
+        with pytest.raises(ValueError):
+            OnlineWorkloadSimulator(workers=0)
+
+    def test_policy_names(self, simulator, imdb_workload, perfect):
+        with pytest.raises(ValueError):
+            simulator.run(imdb_workload, perfect, policy="lifo")
+
+    def test_prediction_shape(self, simulator, imdb_workload):
+        with pytest.raises(ValueError):
+            simulator.run(imdb_workload, np.ones(3))
+
+
+class TestScheduling:
+    def test_everything_completes_without_sla(self, simulator,
+                                              imdb_workload, perfect):
+        result = simulator.run(imdb_workload, perfect)
+        assert result.completed == len(imdb_workload)
+        assert result.rejected == 0
+
+    def test_oracle_sjf_beats_fifo_wait(self, simulator, imdb_workload,
+                                        perfect):
+        fifo = simulator.run(imdb_workload, perfect, policy="fifo",
+                             policy_name="FIFO")
+        sjf = simulator.run(imdb_workload, perfect, policy="sjf")
+        assert sjf.mean_wait_ms <= fifo.mean_wait_ms * 1.02
+
+    def test_deterministic(self, simulator, imdb_workload, perfect):
+        a = simulator.run(imdb_workload, perfect)
+        b = simulator.run(imdb_workload, perfect)
+        assert a == b
+
+    def test_light_load_no_waiting(self, imdb_workload, perfect):
+        simulator = OnlineWorkloadSimulator(workers=4, seed=0)
+        result = simulator.run(
+            imdb_workload, perfect,
+            mean_gap_ms=float(perfect.max()) * 10,
+        )
+        assert result.mean_wait_ms == pytest.approx(0.0, abs=1e-9)
+
+    def test_compare_returns_three_policies(self, simulator, imdb_workload,
+                                            perfect):
+        results = simulator.compare(imdb_workload, perfect)
+        assert [r.policy for r in results] == [
+            "FIFO", "SJF (model)", "SJF (oracle)"
+        ]
+
+
+class TestAdmissionControl:
+    def test_perfect_predictions_no_false_rejects(self, simulator,
+                                                  imdb_workload, perfect):
+        sla = float(np.percentile(perfect, 80))
+        result = simulator.run(imdb_workload, perfect, sla_ms=sla)
+        assert result.false_rejects == 0
+        assert result.sla_violations == 0
+        assert result.rejected == int((perfect > sla).sum())
+
+    def test_bad_predictions_cause_violations(self, simulator,
+                                              imdb_workload, perfect):
+        sla = float(np.percentile(perfect, 50))
+        constant = np.zeros_like(perfect)  # admits everything
+        result = simulator.run(imdb_workload, constant, sla_ms=sla)
+        assert result.rejected == 0
+        assert result.sla_violations == int((perfect > sla).sum())
+
+    def test_overcautious_predictions_false_reject(self, simulator,
+                                                   imdb_workload, perfect):
+        sla = float(np.percentile(perfect, 90))
+        inflated = perfect * 100.0
+        result = simulator.run(imdb_workload, inflated, sla_ms=sla)
+        assert result.false_rejects > 0
+
+    def test_dace_admission_quality(self, simulator, imdb_workload):
+        """A trained estimator's admission decisions beat the constant
+        admit-all policy on SLA violations."""
+        from repro.core import DACE, TrainingConfig
+        train, test = imdb_workload.split(0.6, seed=0)
+        dace = DACE(
+            training=TrainingConfig(epochs=15, batch_size=32, lr=2e-3),
+            seed=0,
+        ).fit(train)
+        predictions = dace.predict(test)
+        actual = test.latencies()
+        sla = float(np.percentile(actual, 75))
+        admit_all = simulator.run(test, np.zeros_like(actual), sla_ms=sla)
+        gated = simulator.run(test, predictions, sla_ms=sla)
+        assert gated.sla_violations < admit_all.sla_violations

@@ -1,0 +1,128 @@
+"""Baseline featurizer internals: MSCN sets and QueryFormer batches."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mscn import MSCNFeaturizer, _pad_sets
+from repro.baselines.queryformer import (
+    _QFBatch,
+    MAX_DISTANCE_BUCKET,
+    SUPER_BUCKET,
+)
+from repro.catalog import load_database
+from repro.featurize import PlanEncoder, catch_plan
+from repro.sql.query import Join, Predicate, Query
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return load_database("imdb")
+
+
+@pytest.fixture(scope="module")
+def featurizer(imdb):
+    return MSCNFeaturizer(imdb)
+
+
+class TestMSCNFeaturizer:
+    def test_vocabulary_covers_schema(self, featurizer, imdb):
+        assert featurizer.table_dim == len(imdb.schema.tables)
+        assert featurizer.join_dim == len(imdb.schema.foreign_keys)
+        # Every int/float column is in the predicate vocabulary.
+        expected = sum(
+            1 for t in imdb.schema.tables.values()
+            for c in t.columns if c.kind in ("int", "float")
+        )
+        assert len(featurizer.column_index) == expected
+
+    def test_table_set_one_hot(self, featurizer):
+        query = Query(tables=["title", "cast_info"],
+                      joins=[Join("cast_info", "movie_id", "title", "id")])
+        tables, joins, _ = featurizer.featurize(query)
+        assert tables.shape == (2, featurizer.table_dim)
+        np.testing.assert_allclose(tables.sum(axis=1), 1.0)
+        assert joins.sum() == 1.0  # the FK edge is in vocabulary
+
+    def test_reversed_join_direction_recognized(self, featurizer):
+        query = Query(tables=["title", "cast_info"],
+                      joins=[Join("title", "id", "cast_info", "movie_id")])
+        _, joins, _ = featurizer.featurize(query)
+        assert joins.sum() == 1.0
+
+    def test_predicate_value_normalized(self, featurizer, imdb):
+        years = imdb.column_array("title", "production_year")
+        finite = years[years > 0]
+        mid = float(np.median(finite))
+        query = Query(tables=["title"], predicates=[
+            Predicate("title", "production_year", "<", mid)
+        ])
+        _, _, predicates = featurizer.featurize(query)
+        value = predicates[0, -1]
+        assert 0.0 <= value <= 1.0
+
+    def test_in_predicate_uses_mean_literal(self, featurizer):
+        query = Query(tables=["title"], predicates=[
+            Predicate("title", "kind_id", "in", values=(1.0, 3.0))
+        ])
+        _, _, predicates = featurizer.featurize(query)
+        assert np.isfinite(predicates).all()
+        # op one-hot slot for "in" is set.
+        in_slot = len(featurizer.column_index) + featurizer.op_index["in"]
+        assert predicates[0, in_slot] == 1.0
+
+    def test_empty_sets_padded(self, featurizer):
+        query = Query(tables=["title"])  # no joins, no predicates
+        _, joins, predicates = featurizer.featurize(query)
+        assert joins.shape[0] == 1 and joins.sum() == 0.0
+        assert predicates.shape[0] == 1 and predicates.sum() == 0.0
+
+    def test_pad_sets_masks(self):
+        elements = [np.ones((2, 3)), np.ones((5, 3))]
+        padded, mask = _pad_sets(elements)
+        assert padded.shape == (2, 5, 3)
+        assert mask.shape == (2, 5, 1)
+        np.testing.assert_allclose(mask[0, :, 0], [1, 1, 0, 0, 0])
+        np.testing.assert_allclose(padded[0, 2:], 0.0)
+
+
+class TestQueryFormerBatch:
+    @pytest.fixture(scope="class")
+    def batch(self, imdb_workload):
+        plans = [catch_plan(s.plan) for s in imdb_workload[:8]]
+        encoder = PlanEncoder(extra_features=True).fit(plans)
+        return _QFBatch(plans, encoder), plans
+
+    def test_super_node_prepended(self, batch):
+        qf_batch, plans = batch
+        n_max = max(p.num_nodes for p in plans) + 1
+        assert qf_batch.features.shape[1] == n_max
+        # Super node features are zero (it gets a learned embedding).
+        np.testing.assert_allclose(qf_batch.features[:, 0, :], 0.0)
+
+    def test_super_bucket_assignment(self, batch):
+        qf_batch, _ = batch
+        assert (qf_batch.buckets[:, 0, :] == SUPER_BUCKET).all()
+        assert (qf_batch.buckets[:, :, 0] == SUPER_BUCKET).all()
+
+    def test_distances_clipped(self, batch):
+        qf_batch, _ = batch
+        real = qf_batch.buckets[:, 1:, 1:]
+        assert real.max() <= MAX_DISTANCE_BUCKET
+
+    def test_attention_rows_never_empty(self, batch):
+        qf_batch, _ = batch
+        assert qf_batch.attention_ok.any(axis=-1).all()
+
+    def test_labels_are_root_logs(self, batch, imdb_workload):
+        qf_batch, plans = batch
+        for index, plan in enumerate(plans):
+            assert qf_batch.labels[index] == pytest.approx(
+                np.log(max(plan.actual_times[0], 1e-3))
+            )
+
+    def test_diagonal_distance_zero(self, batch):
+        qf_batch, plans = batch
+        for index, plan in enumerate(plans):
+            n = plan.num_nodes
+            diag = np.diagonal(qf_batch.buckets[index, 1:n + 1, 1:n + 1])
+            assert (diag == 0).all()

@@ -1,0 +1,66 @@
+"""Extra ablation runners at tiny scale."""
+
+import pytest
+
+from repro.bench import (
+    ablation_alpha,
+    ablation_capacity,
+    apps_end_to_end,
+    cardinality_knowledge,
+    clear_caches,
+    drift_taxonomy,
+    ensemble_uncertainty,
+)
+from tests.bench.test_experiments import TINY
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestExtraAblations:
+    def test_alpha_sweep(self):
+        result = ablation_alpha(TINY, alphas=(0.0, 0.5, 1.0))
+        assert set(result["results"]) == {0.0, 0.5, 1.0}
+        for by_split in result["results"].values():
+            assert set(by_split) == {"synthetic", "scale", "job_light"}
+
+    def test_capacity_sweep(self):
+        result = ablation_capacity(TINY, attention_dims=(16, 32))
+        assert result["results"][16]["size_mb"] < (
+            result["results"][32]["size_mb"]
+        )
+
+    def test_apps_end_to_end(self):
+        result = apps_end_to_end(TINY)
+        selection = result["selection"]
+        assert selection.oracle_latency_ms <= selection.native_latency_ms
+        scheduling = result["scheduling"]
+        assert (scheduling["oracle"].mean_flow_time_ms
+                <= scheduling["fifo"].mean_flow_time_ms)
+
+    def test_cardinality_knowledge(self):
+        result = cardinality_knowledge(TINY)
+        assert set(result["results"]) == {"DACE", "DACE-D", "DACE-A"}
+        for summary in result["results"].values():
+            assert summary.median >= 1.0
+
+    def test_drift_taxonomy(self):
+        import math
+        result = drift_taxonomy(TINY)
+        for model, by_scenario in result["results"].items():
+            assert len(by_scenario) == 5
+        # MSCN cannot featurize a foreign schema: Drift IV/V are n/a.
+        assert math.isnan(result["results"]["MSCN"]["IV across-database"])
+        assert not math.isnan(result["results"]["DACE"]["IV across-database"])
+        assert result["dace_lora_v"] >= 1.0
+
+    def test_ensemble(self):
+        result = ensemble_uncertainty(TINY, n_members=2)
+        for split in ("synthetic", "scale", "job_light"):
+            entry = result["results"][split]
+            assert entry["ensemble"].median >= 1.0
+            assert -1.0 <= entry["uncertainty_error_corr"] <= 1.0

@@ -1,0 +1,112 @@
+"""Probability axioms of the SPN leaves and composite nodes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cardest.spn import SPNTableEstimator, _Leaf
+from repro.sql.query import Predicate
+
+finite_floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+def _leaf_from(values):
+    return _Leaf(np.asarray(values, dtype=np.float64))
+
+
+class TestLeafAxioms:
+    @given(
+        values=st.lists(st.integers(0, 30), min_size=5, max_size=300),
+        low=st.integers(-5, 35),
+        width=st.integers(0, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interval_probability_in_unit_range(self, values, low, width):
+        leaf = _leaf_from(values)
+        p = leaf.probability_interval(low, low + width)
+        assert -1e-9 <= p <= 1.0 + 1e-9
+
+    @given(values=st.lists(st.integers(0, 30), min_size=5, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_full_range_is_total_mass(self, values):
+        leaf = _leaf_from(values)
+        p = leaf.probability_interval(-1e9, 1e9)
+        assert p == pytest.approx(1.0, abs=0.02)
+
+    @given(
+        values=st.lists(st.integers(0, 30), min_size=20, max_size=300),
+        split=st.integers(0, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_additivity(self, values, split):
+        """P(x <= s) + P(x > s) ≈ total mass (exact for exact leaves)."""
+        leaf = _leaf_from(values)
+        if leaf.bin_edges is not None:
+            return  # histogram leaves are approximate; skip strict check
+        below = leaf.probability_interval(-1e9, split)
+        above = leaf.probability_interval(split + 1, 1e9)
+        assert below + above == pytest.approx(1.0, abs=1e-9)
+
+    @given(values=st.lists(st.integers(0, 30), min_size=5, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_point_masses_match_frequencies(self, values):
+        leaf = _leaf_from(values)
+        if leaf.bin_edges is not None:
+            return
+        arr = np.asarray(values)
+        for v in set(values):
+            expected = (arr == v).mean()
+            assert leaf.probability_interval(v, v) == pytest.approx(expected)
+
+    def test_nulls_excluded(self):
+        leaf = _leaf_from([1.0, np.nan, np.nan, 2.0])
+        assert leaf.null_frac == pytest.approx(0.5)
+        assert leaf.probability_interval(-1e9, 1e9) == pytest.approx(0.5)
+
+    def test_empty_leaf(self):
+        leaf = _leaf_from([np.nan, np.nan])
+        assert leaf.probability_interval(-1e9, 1e9) == 0.0
+
+
+class TestSPNAxioms:
+    @pytest.fixture(scope="class")
+    def spn(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 10, size=3000).astype(np.float64)
+        b = a * 5 + rng.normal(0, 2, size=3000)  # correlated with a
+        c = rng.uniform(0, 100, size=3000)       # independent
+        return SPNTableEstimator(
+            ["a", "b", "c"], np.stack([a, b, c], axis=1), seed=0
+        )
+
+    @given(cut=st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_selectivity_unit_range(self, spn, cut):
+        sel = spn.selectivity([Predicate("t", "a", "<=", cut)])
+        assert 0.0 <= sel <= 1.0
+
+    def test_conjunction_never_exceeds_marginals(self, spn):
+        p_a = spn.selectivity([Predicate("t", "a", "<=", 3)])
+        p_c = spn.selectivity([Predicate("t", "c", "<=", 50)])
+        joint = spn.selectivity([
+            Predicate("t", "a", "<=", 3), Predicate("t", "c", "<=", 50)
+        ])
+        assert joint <= min(p_a, p_c) + 0.02
+
+    def test_correlated_joint_above_independence_product(self, spn):
+        """a and b move together: P(a low AND b low) >> P(a low)P(b low)
+        would hold under positive correlation; at minimum the SPN must not
+        just multiply marginals."""
+        p_a = spn.selectivity([Predicate("t", "a", "<=", 2)])
+        p_b = spn.selectivity([Predicate("t", "b", "<=", 12)])
+        joint = spn.selectivity([
+            Predicate("t", "a", "<=", 2), Predicate("t", "b", "<=", 12)
+        ])
+        assert joint > p_a * p_b * 1.2
+
+    def test_contradiction_near_zero(self, spn):
+        sel = spn.selectivity([
+            Predicate("t", "a", "<=", 1), Predicate("t", "a", ">=", 9)
+        ])
+        assert sel < 0.02

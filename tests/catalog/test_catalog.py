@@ -1,0 +1,236 @@
+"""Schema, data generation, statistics, and the database zoo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import (
+    Column,
+    ForeignKey,
+    Schema,
+    Table,
+    ZOO_DATABASE_NAMES,
+    collect_table_stats,
+    generate_database,
+    load_database,
+)
+from repro.catalog.datagen import NULL_SENTINEL
+from repro.catalog.stats import _column_stats
+from repro.catalog.zoo import build_schema
+
+
+class TestSchema:
+    def test_duplicate_table_rejected(self):
+        schema = Schema("s")
+        schema.add_table(Table("t", [Column("id", kind="pk")], num_rows=10))
+        with pytest.raises(ValueError):
+            schema.add_table(Table("t", [Column("id", kind="pk")], num_rows=10))
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [Column("a"), Column("a")], num_rows=5)
+
+    def test_fk_to_missing_column_rejected(self):
+        schema = Schema("s")
+        schema.add_table(Table("p", [Column("id", kind="pk")], num_rows=5))
+        schema.add_table(Table("c", [Column("id", kind="pk")], num_rows=5))
+        with pytest.raises(KeyError):
+            schema.add_foreign_key(ForeignKey("c", "p_id", "p", "id"))
+
+    def test_validate_fk_kinds(self):
+        schema = Schema("s")
+        schema.add_table(Table("p", [Column("id", kind="pk")], num_rows=5))
+        schema.add_table(Table("c", [
+            Column("id", kind="pk"),
+            Column("p_id", kind="int"),  # should be 'fk'
+        ], num_rows=5))
+        schema.foreign_keys.append(ForeignKey("c", "p_id", "p", "id"))
+        with pytest.raises(ValueError):
+            schema.validate()
+
+    def test_join_graph_edges(self):
+        schema = build_schema("imdb")
+        graph = schema.join_graph()
+        assert graph.number_of_edges() == len(schema.foreign_keys)
+
+    def test_num_pages_positive(self):
+        table = Table("t", [Column("id", kind="pk")], num_rows=1)
+        assert table.num_pages >= 1
+
+    def test_column_kind_validation(self):
+        with pytest.raises(ValueError):
+            Column("x", kind="varchar")
+
+    def test_correlated_requires_source(self):
+        with pytest.raises(ValueError):
+            Column("x", distribution="correlated")
+
+
+class TestDataGeneration:
+    def test_deterministic(self):
+        a = load_database("credit", use_cache=False)
+        b = load_database("credit", use_cache=False)
+        for table in a.data:
+            for column in a.data[table]:
+                np.testing.assert_array_equal(
+                    a.data[table][column], b.data[table][column]
+                )
+
+    def test_pk_unique_and_dense(self):
+        database = load_database("imdb")
+        ids = database.column_array("title", "id")
+        np.testing.assert_array_equal(ids, np.arange(len(ids)))
+
+    def test_fk_references_valid(self):
+        database = load_database("imdb")
+        for fk in database.schema.foreign_keys:
+            child = database.column_array(fk.child_table, fk.child_column)
+            parent = set(
+                database.column_array(fk.parent_table, fk.parent_column)
+                .tolist()
+            )
+            live = child[child != NULL_SENTINEL]
+            assert set(live.tolist()) <= parent
+
+    def test_null_frac_respected(self):
+        schema = Schema("s")
+        schema.add_table(Table("t", [
+            Column("id", kind="pk"),
+            Column("x", kind="int", null_frac=0.3, low=0, high=9),
+        ], num_rows=5000))
+        database = generate_database(schema, seed=0)
+        values = database.column_array("t", "x")
+        frac = (values == NULL_SENTINEL).mean()
+        assert 0.25 < frac < 0.35
+
+    def test_correlated_column_correlates(self):
+        schema = Schema("s")
+        schema.add_table(Table("t", [
+            Column("id", kind="pk"),
+            Column("a", kind="float", distribution="uniform", low=0, high=100),
+            Column("b", kind="float", distribution="correlated",
+                   correlated_with="a", low=0, high=100),
+        ], num_rows=3000))
+        database = generate_database(schema, seed=1)
+        a = database.column_array("t", "a")
+        b = database.column_array("t", "b")
+        assert np.corrcoef(a, b)[0, 1] > 0.7
+
+    def test_cyclic_fk_rejected(self):
+        schema = Schema("s")
+        schema.add_table(Table("a", [
+            Column("id", kind="pk"), Column("b_id", kind="fk"),
+        ], num_rows=5))
+        schema.add_table(Table("b", [
+            Column("id", kind="pk"), Column("a_id", kind="fk"),
+        ], num_rows=5))
+        schema.foreign_keys.append(ForeignKey("a", "b_id", "b", "id"))
+        schema.foreign_keys.append(ForeignKey("b", "a_id", "a", "id"))
+        with pytest.raises(ValueError):
+            generate_database(schema, seed=0)
+
+
+class TestScaling:
+    def test_scale_changes_rows(self):
+        database = load_database("tpc_h")
+        scaled = database.scale(2.0)
+        for name, table in database.schema.tables.items():
+            assert scaled.table_rows(name) == pytest.approx(
+                table.num_rows * 2, rel=0.01
+            )
+
+    def test_scale_down(self):
+        database = load_database("tpc_h")
+        scaled = database.scale(0.5)
+        assert scaled.table_rows("lineitem") < database.table_rows("lineitem")
+
+    def test_scaled_fks_valid(self):
+        database = load_database("tpc_h").scale(3.0)
+        for fk in database.schema.foreign_keys:
+            child = database.column_array(fk.child_table, fk.child_column)
+            live = child[child != NULL_SENTINEL]
+            assert live.max() < database.table_rows(fk.parent_table)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            load_database("tpc_h").scale(0.0)
+
+
+class TestZoo:
+    def test_twenty_databases(self):
+        assert len(ZOO_DATABASE_NAMES) == 20
+        assert "imdb" in ZOO_DATABASE_NAMES
+        assert "tpc_h" in ZOO_DATABASE_NAMES
+
+    def test_unknown_database_rejected(self):
+        with pytest.raises(KeyError):
+            load_database("not_a_db")
+
+    def test_schemas_heterogeneous(self):
+        shapes = set()
+        for name in ZOO_DATABASE_NAMES[:8]:
+            schema = build_schema(name)
+            shapes.add((len(schema.tables), len(schema.foreign_keys)))
+        assert len(shapes) >= 4
+
+    def test_cache_returns_same_object(self):
+        a = load_database("airline")
+        b = load_database("airline")
+        assert a is b
+
+    def test_all_zoo_schemas_valid(self):
+        for name in ZOO_DATABASE_NAMES:
+            schema = build_schema(name)
+            schema.validate()
+            assert len(schema.tables) >= 3
+
+
+class TestStats:
+    @pytest.fixture(scope="class")
+    def imdb_stats(self):
+        return collect_table_stats(load_database("imdb"), seed=0)
+
+    def test_row_counts(self, imdb_stats):
+        assert imdb_stats["title"].num_rows == 8000
+
+    def test_distinct_counts_reasonable(self, imdb_stats):
+        stats = imdb_stats["title"].columns["kind_id"]
+        assert 1 <= stats.n_distinct <= 10
+
+    def test_histogram_bounds_sorted(self, imdb_stats):
+        for table in imdb_stats.values():
+            for column in table.columns.values():
+                bounds = column.histogram_bounds
+                if bounds.size > 1:
+                    assert (np.diff(bounds) >= -1e-9).all()
+
+    def test_range_selectivity_full_range(self, imdb_stats):
+        stats = imdb_stats["title"].columns["production_year"]
+        sel = stats.selectivity_range(stats.min_value, stats.max_value)
+        assert sel == pytest.approx(1.0 - stats.null_frac, abs=0.05)
+
+    def test_eq_selectivity_sums_sensibly(self, imdb_stats):
+        stats = imdb_stats["title"].columns["kind_id"]
+        total = sum(stats.selectivity_eq(v) for v in range(1, 8))
+        assert 0.5 < total <= 1.05
+
+    @given(
+        low=st.floats(min_value=0, max_value=50),
+        width=st.floats(min_value=0, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_selectivity_monotone(self, low, width):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 100, size=2000)
+        stats = _column_stats(values, sample_rows=2000, rng=rng)
+        narrow = stats.selectivity_range(low, low + width / 2)
+        wide = stats.selectivity_range(low, low + width)
+        assert wide >= narrow - 1e-9
+
+    def test_all_null_column(self):
+        rng = np.random.default_rng(0)
+        values = np.full(100, np.nan)
+        stats = _column_stats(values, sample_rows=100, rng=rng)
+        assert stats.null_frac == 1.0
+        assert stats.n_distinct == 0.0

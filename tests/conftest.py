@@ -1,0 +1,43 @@
+"""Session-scoped workload fixtures shared across core/baseline tests.
+
+Building labelled workloads is the expensive part of every model test, so a
+small multi-database workload is built once per session.
+"""
+
+import pytest
+
+from repro.catalog import load_database
+from repro.engine.machines import M1, M2
+from repro.sql.generator import QueryGenerator, WorkloadSpec
+from repro.workloads.dataset import PlanDataset, collect_workload
+
+TRAIN_DBS = ("airline", "credit", "walmart")
+TEST_DB = "movielens"
+_SPEC = WorkloadSpec(max_joins=3, max_predicates=3, min_predicates=1)
+
+
+def _collect(name: str, count: int, machine=M1, seed: int = 0) -> PlanDataset:
+    database = load_database(name)
+    queries = QueryGenerator(database, _SPEC, seed=seed).generate_many(count)
+    return collect_workload(database, queries, machine=machine, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def train_datasets():
+    return [_collect(name, 120) for name in TRAIN_DBS]
+
+
+@pytest.fixture(scope="session")
+def test_dataset():
+    return _collect(TEST_DB, 60)
+
+
+@pytest.fixture(scope="session")
+def test_dataset_m2():
+    return _collect(TEST_DB, 60, machine=M2, seed=1)
+
+
+@pytest.fixture(scope="session")
+def imdb_workload():
+    """A small labelled IMDB workload for WDM tests."""
+    return _collect("imdb", 150)

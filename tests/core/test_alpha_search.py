@@ -1,0 +1,32 @@
+"""The alpha binary search (paper: alpha = 0.5 found by binary search)."""
+
+import pytest
+
+from repro.core import TrainingConfig, search_alpha
+from repro.workloads.dataset import PlanDataset
+
+
+class TestAlphaSearch:
+    @pytest.fixture(scope="class")
+    def result(self, train_datasets, test_dataset):
+        training = TrainingConfig(epochs=6, batch_size=32, lr=2e-3)
+        return search_alpha(
+            train_datasets, test_dataset, training=training,
+            iterations=2, seed=0,
+        )
+
+    def test_alpha_in_range(self, result):
+        assert 0.0 <= result.best_alpha <= 1.0
+
+    def test_trials_recorded(self, result):
+        # 2 endpoints + 2 probes per iteration.
+        assert len(result.trials) == 2 + 2 * 2
+        alphas = [alpha for alpha, _ in result.trials]
+        assert 0.0 in alphas and 1.0 in alphas
+
+    def test_best_is_minimum(self, result):
+        assert result.best_score == min(score for _, score in result.trials)
+
+    def test_empty_validation_raises(self, train_datasets):
+        with pytest.raises(ValueError):
+            search_alpha(train_datasets, PlanDataset())

@@ -1,0 +1,90 @@
+"""Training-data selection for fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.data_selection import (
+    coverage_radius,
+    select_diverse,
+    select_random,
+    select_uncertain,
+)
+
+
+class TestRandom:
+    def test_budget_respected(self, imdb_workload):
+        indices = select_random(imdb_workload, 20, seed=0)
+        assert indices.shape == (20,)
+        assert len(set(indices.tolist())) == 20
+        assert indices.max() < len(imdb_workload)
+
+    def test_deterministic(self, imdb_workload):
+        np.testing.assert_array_equal(
+            select_random(imdb_workload, 10, seed=3),
+            select_random(imdb_workload, 10, seed=3),
+        )
+
+    def test_budget_validated(self, imdb_workload):
+        with pytest.raises(ValueError):
+            select_random(imdb_workload, 0)
+        with pytest.raises(ValueError):
+            select_random(imdb_workload, len(imdb_workload) + 1)
+
+
+class TestDiverse:
+    @pytest.fixture()
+    def clustered_embeddings(self):
+        rng = np.random.default_rng(0)
+        # Three tight clusters far apart.
+        centers = np.array([[0.0, 0.0], [100.0, 0.0], [0.0, 100.0]])
+        points = np.concatenate([
+            center + rng.normal(0, 0.5, size=(30, 2)) for center in centers
+        ])
+        return points
+
+    def test_covers_all_clusters(self, clustered_embeddings):
+        indices = select_diverse(clustered_embeddings, budget=3, seed=0)
+        clusters = set(indices // 30)
+        assert clusters == {0, 1, 2}
+
+    def test_no_duplicates(self, clustered_embeddings):
+        indices = select_diverse(clustered_embeddings, budget=10)
+        assert len(set(indices.tolist())) == 10
+
+    def test_better_coverage_than_random(self, clustered_embeddings):
+        diverse = select_diverse(clustered_embeddings, budget=5)
+        rng = np.random.default_rng(1)
+        random_indices = rng.choice(len(clustered_embeddings), 5,
+                                    replace=False)
+        assert coverage_radius(clustered_embeddings, diverse) <= (
+            coverage_radius(clustered_embeddings, random_indices)
+        )
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            select_diverse(np.zeros(5), budget=2)
+        with pytest.raises(ValueError):
+            select_diverse(np.zeros((5, 2)), budget=6)
+
+    def test_works_on_dace_embeddings(self, imdb_workload, train_datasets):
+        from repro.core import DACE, TrainingConfig
+        dace = DACE(
+            training=TrainingConfig(epochs=8, batch_size=32, lr=2e-3),
+            seed=0,
+        ).fit(train_datasets)
+        embeddings = dace.embed_dataset(imdb_workload)
+        indices = select_diverse(embeddings, budget=15)
+        assert indices.shape == (15,)
+
+
+class TestUncertain:
+    def test_picks_highest_sigma(self):
+        sigma = np.array([0.1, 0.9, 0.3, 0.8])
+        indices = select_uncertain(sigma, budget=2)
+        np.testing.assert_array_equal(indices, [1, 3])
+
+    def test_validated(self):
+        with pytest.raises(ValueError):
+            select_uncertain(np.zeros((2, 2)), budget=1)
+        with pytest.raises(ValueError):
+            select_uncertain(np.zeros(3), budget=4)

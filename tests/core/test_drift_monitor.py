@@ -1,0 +1,118 @@
+"""Drift detection and triggered LoRA adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DACE, TrainingConfig
+from repro.core.drift_monitor import DriftMonitor
+
+
+@pytest.fixture(scope="module")
+def deployed(train_datasets):
+    dace = DACE(
+        training=TrainingConfig(epochs=12, batch_size=32, lr=2e-3), seed=0
+    )
+    dace.fit(train_datasets)
+    return dace
+
+
+def _feed(monitor, dataset):
+    for sample in dataset:
+        monitor.observe(sample.plan, sample.query, sample.database_name)
+
+
+class TestValidation:
+    def test_window_and_threshold(self, deployed):
+        with pytest.raises(ValueError):
+            DriftMonitor(deployed, window=5)
+        with pytest.raises(ValueError):
+            DriftMonitor(deployed, threshold=1.0)
+
+    def test_unlabelled_plan_rejected(self, deployed, train_datasets):
+        monitor = DriftMonitor(deployed, window=10)
+        sample = train_datasets[0][0]
+        bare = sample.plan.clone()
+        for node in bare.walk_dfs():
+            node.actual_time_ms = None
+        with pytest.raises(ValueError):
+            monitor.observe(bare, sample.query)
+
+    def test_adapt_before_observe_rejected(self, deployed):
+        with pytest.raises(ValueError):
+            DriftMonitor(deployed, window=10).adapt()
+
+
+class TestDetection:
+    def test_healthy_on_training_distribution(self, deployed,
+                                              train_datasets):
+        monitor = DriftMonitor(deployed, window=40, threshold=1.5)
+        _feed(monitor, train_datasets[0][:80])
+        status = monitor.status()
+        assert not status.drifted
+        assert status.observed == 80
+        assert status.degradation < 1.5
+
+    def test_baseline_fixed_after_first_window(self, deployed,
+                                               train_datasets):
+        monitor = DriftMonitor(deployed, window=40)
+        _feed(monitor, train_datasets[0][:40])
+        baseline = monitor.status().baseline_median_qerror
+        _feed(monitor, train_datasets[1][:40])
+        assert monitor.status().baseline_median_qerror == baseline
+
+    def test_drift_detected_on_new_machine(self, deployed, train_datasets,
+                                           test_dataset_m2):
+        """M1-trained model watching M2-labelled queries must flag drift."""
+        monitor = DriftMonitor(deployed, window=30, threshold=1.3)
+        _feed(monitor, train_datasets[0][:30])   # healthy baseline (M1)
+        healthy = monitor.status()
+        assert not healthy.drifted
+        _feed(monitor, test_dataset_m2[:60])     # unseen db + machine M2
+        drifted = monitor.status()
+        assert drifted.degradation > healthy.degradation
+
+    def test_explicit_baseline(self, deployed, train_datasets):
+        monitor = DriftMonitor(deployed, window=10, baseline_median=1.05,
+                               threshold=1.2)
+        _feed(monitor, train_datasets[0][:10])
+        status = monitor.status()
+        assert status.baseline_median_qerror == pytest.approx(1.05)
+
+
+class TestAdaptation:
+    def test_adapt_improves_on_drifted_distribution(self, train_datasets,
+                                                    test_dataset_m2):
+        dace = DACE(
+            training=TrainingConfig(epochs=12, batch_size=32, lr=2e-3),
+            seed=1,
+        ).fit(train_datasets)
+        monitor = DriftMonitor(dace, window=30, threshold=1.2)
+        tune_half, eval_half = test_dataset_m2.split(0.5, seed=0)
+        _feed(monitor, tune_half)
+        from repro.metrics import qerror_summary
+        before = qerror_summary(dace.predict(eval_half),
+                                eval_half.latencies())
+        used = monitor.adapt(epochs=12)
+        after = qerror_summary(dace.predict(eval_half),
+                               eval_half.latencies())
+        assert len(used) == min(len(tune_half), 30)
+        assert after.median <= before.median * 1.2  # no regression; usually better
+
+    def test_adapt_with_budget_and_selection(self, deployed,
+                                             train_datasets):
+        import copy
+        model = copy.deepcopy(deployed)
+        monitor = DriftMonitor(model, window=40)
+        _feed(monitor, train_datasets[0][:40])
+        used = monitor.adapt(budget=10, selection="diverse", epochs=2)
+        assert len(used) == 10
+        # Baseline resets so recovery is measured fresh.
+        assert monitor.status().observed == 40
+        assert len(monitor.window_dataset()) == 40
+
+    def test_unknown_selection_rejected(self, deployed, train_datasets):
+        import copy
+        monitor = DriftMonitor(copy.deepcopy(deployed), window=10)
+        _feed(monitor, train_datasets[0][:10])
+        with pytest.raises(ValueError):
+            monitor.adapt(budget=5, selection="bogus")

@@ -1,0 +1,75 @@
+"""DACE ensembles: mean prediction and uncertainty."""
+
+import numpy as np
+import pytest
+
+from repro.core import DACEEnsemble, TrainingConfig
+from repro.metrics import qerror_summary
+
+
+@pytest.fixture(scope="module")
+def ensemble(train_datasets):
+    ens = DACEEnsemble(
+        n_members=3,
+        training=TrainingConfig(epochs=8, batch_size=32, lr=2e-3),
+        seed=0,
+    )
+    ens.fit(train_datasets)
+    return ens
+
+
+class TestEnsemble:
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError):
+            DACEEnsemble(n_members=1)
+
+    def test_members_differ(self, ensemble, test_dataset):
+        a = ensemble.members[0].predict(test_dataset)
+        b = ensemble.members[1].predict(test_dataset)
+        assert not np.allclose(a, b)
+
+    def test_prediction_shapes(self, ensemble, test_dataset):
+        mean, sigma = ensemble.predict_with_uncertainty(test_dataset)
+        assert mean.shape == sigma.shape == (len(test_dataset),)
+        assert (mean > 0).all()
+        assert (sigma >= 0).all()
+
+    def test_mean_is_geometric(self, ensemble, test_dataset):
+        logs = np.stack([
+            np.log(member.predict(test_dataset))
+            for member in ensemble.members
+        ])
+        np.testing.assert_allclose(
+            ensemble.predict(test_dataset), np.exp(logs.mean(axis=0)),
+            rtol=1e-6,
+        )
+
+    def test_ensemble_not_worse_than_worst_member(self, ensemble,
+                                                  test_dataset):
+        actual = test_dataset.latencies()
+        member_medians = [
+            qerror_summary(m.predict(test_dataset), actual).median
+            for m in ensemble.members
+        ]
+        ens_median = qerror_summary(
+            ensemble.predict(test_dataset), actual
+        ).median
+        assert ens_median <= max(member_medians) + 1e-9
+
+    def test_predict_plan_matches_dataset_path(self, ensemble, test_dataset):
+        single = ensemble.predict_plan(test_dataset[0].plan)
+        batch = ensemble.predict(test_dataset[:1])[0]
+        assert single == pytest.approx(batch, rel=1e-6)
+
+    def test_uncertainty_higher_out_of_distribution(self, ensemble,
+                                                    test_dataset,
+                                                    train_datasets):
+        """Members should agree more on training-like data than on an
+        unseen database's plans."""
+        _, sigma_train = ensemble.predict_with_uncertainty(
+            train_datasets[0][:40]
+        )
+        _, sigma_test = ensemble.predict_with_uncertainty(test_dataset[:40])
+        # Loose sanity bound: training under concurrent load makes exact
+        # sigma values float-nondeterministic (threaded BLAS reductions).
+        assert sigma_test.mean() > sigma_train.mean() * 0.25

@@ -1,0 +1,80 @@
+"""Quantile (pinball) objective: calibrated latency upper bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core import DACE, TrainingConfig
+from repro.nn import Tensor, pinball_loss
+
+
+class TestPinballLoss:
+    def test_tau_validated(self):
+        with pytest.raises(ValueError):
+            pinball_loss(Tensor(np.zeros(3)), np.zeros(3), tau=1.0)
+
+    def test_zero_at_exact(self):
+        target = np.array([1.0, 2.0])
+        loss = pinball_loss(Tensor(target.copy()), target, tau=0.9)
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_asymmetry(self):
+        """At tau=0.9 underestimation costs 9x overestimation."""
+        target = np.array([0.0])
+        under = pinball_loss(Tensor(np.array([-1.0])), target, 0.9).item()
+        over = pinball_loss(Tensor(np.array([1.0])), target, 0.9).item()
+        assert under == pytest.approx(0.9)
+        assert over == pytest.approx(0.1)
+
+    def test_minimizer_is_quantile(self):
+        """Gradient descent on pinball loss converges to the sample
+        quantile."""
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(1.0, size=4000)
+        from repro.nn import Adam
+        from repro.nn.module import Parameter
+        parameter = Parameter(np.array([0.0]))
+        optimizer = Adam([parameter], lr=0.05)
+        for _ in range(400):
+            optimizer.zero_grad()
+            pred = parameter + Tensor(np.zeros(samples.size))
+            loss = pinball_loss(pred, samples, tau=0.9)
+            loss.backward()
+            optimizer.step()
+        expected = np.quantile(samples, 0.9)
+        assert parameter.data[0] == pytest.approx(expected, rel=0.1)
+
+    def test_weights(self):
+        target = np.zeros(2)
+        pred = Tensor(np.array([1.0, -1.0]))
+        weights = np.array([1.0, 0.0])
+        loss = pinball_loss(pred, target, tau=0.5, weights=weights)
+        assert loss.item() == pytest.approx(0.5)
+
+
+class TestQuantileDACE:
+    def test_objective_validated(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(objective="pinball")
+        with pytest.raises(ValueError):
+            TrainingConfig(objective="quantile", quantile_tau=0.0)
+
+    def test_p90_model_overestimates_most_queries(self, imdb_workload):
+        """A tau=0.9 DACE's predictions should exceed ~most actual
+        latencies (calibrated upper bound), unlike the median model."""
+        train, test = imdb_workload.split(0.7, seed=0)
+        median_model = DACE(
+            training=TrainingConfig(epochs=15, batch_size=32, lr=2e-3),
+            seed=0,
+        ).fit(train)
+        upper_model = DACE(
+            training=TrainingConfig(
+                epochs=15, batch_size=32, lr=2e-3,
+                objective="quantile", quantile_tau=0.9,
+            ),
+            seed=0,
+        ).fit(train)
+        actual = test.latencies()
+        median_coverage = (median_model.predict(test) >= actual).mean()
+        upper_coverage = (upper_model.predict(test) >= actual).mean()
+        assert upper_coverage > median_coverage
+        assert upper_coverage >= 0.7

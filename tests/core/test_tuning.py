@@ -1,0 +1,63 @@
+"""Hyperparameter search utilities."""
+
+import pytest
+
+from repro.core.trainer import TrainingConfig
+from repro.core.tuning import grid_search, random_search
+
+
+@pytest.fixture(scope="module")
+def splits(imdb_workload):
+    return imdb_workload.split(0.7, seed=0)
+
+
+FAST = TrainingConfig(epochs=4, batch_size=32)
+
+
+class TestGridSearch:
+    def test_explores_full_grid(self, splits):
+        train, validation = splits
+        result = grid_search(
+            {"lr": [1e-3, 3e-3], "batch_size": [32]},
+            train, validation, base_training=FAST,
+        )
+        assert len(result.trials) == 2
+        assert result.best_params in [p for p, _ in result.trials]
+        assert result.best_score == min(s for _, s in result.trials)
+        assert result.best_model is not None
+
+    def test_model_params_searchable(self, splits):
+        train, validation = splits
+        result = grid_search(
+            {"attention_dim": [32, 64]},
+            train, validation, base_training=FAST,
+        )
+        assert result.best_params["attention_dim"] in (32, 64)
+
+    def test_unknown_param_rejected(self, splits):
+        train, validation = splits
+        with pytest.raises(KeyError):
+            grid_search({"bogus": [1]}, train, validation,
+                        base_training=FAST)
+
+    def test_empty_grid_rejected(self, splits):
+        train, validation = splits
+        with pytest.raises(ValueError):
+            grid_search({}, train, validation)
+
+
+class TestRandomSearch:
+    def test_runs_and_dedups(self, splits):
+        train, validation = splits
+        result = random_search(
+            {"lr": [1e-3, 3e-3]}, train, validation, trials=6,
+            base_training=FAST,
+        )
+        # Only 2 distinct configs exist; duplicates are skipped.
+        assert 1 <= len(result.trials) <= 2
+        assert result.best_model is not None
+
+    def test_trials_validated(self, splits):
+        train, validation = splits
+        with pytest.raises(ValueError):
+            random_search({"lr": [1e-3]}, train, validation, trials=0)

@@ -1,0 +1,44 @@
+"""Shared fixtures: a tiny hand-built database with known contents."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.datagen import Database, generate_database
+from repro.catalog.schema import Column, ForeignKey, Schema, Table
+from repro.catalog.stats import collect_table_stats
+
+
+@pytest.fixture(scope="session")
+def tiny_schema() -> Schema:
+    schema = Schema(name="tiny")
+    schema.add_table(Table("users", [
+        Column("id", kind="pk"),
+        Column("age", kind="int", distribution="uniform", low=18, high=80),
+        Column("score", kind="float", distribution="normal", low=0, high=100),
+    ], num_rows=500))
+    schema.add_table(Table("orders", [
+        Column("id", kind="pk"),
+        Column("user_id", kind="fk", distribution="zipf", skew=1.5),
+        Column("amount", kind="float", distribution="uniform", low=1, high=1000),
+        Column("status", kind="int", distribution="zipf", low=0, high=4,
+               skew=1.6),
+    ], num_rows=2000))
+    schema.add_table(Table("items", [
+        Column("id", kind="pk"),
+        Column("order_id", kind="fk", distribution="zipf", skew=1.4),
+        Column("price", kind="float", distribution="uniform", low=1, high=500),
+    ], num_rows=4000))
+    schema.add_foreign_key(ForeignKey("orders", "user_id", "users", "id"))
+    schema.add_foreign_key(ForeignKey("items", "order_id", "orders", "id"))
+    schema.validate()
+    return schema
+
+
+@pytest.fixture(scope="session")
+def tiny_db(tiny_schema) -> Database:
+    return generate_database(tiny_schema, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_stats(tiny_db):
+    return collect_table_stats(tiny_db, seed=7)

@@ -1,0 +1,90 @@
+"""Cost model formulas and bench-scale preset consistency."""
+
+import pytest
+
+from repro.bench import DEFAULT, PAPER, SMOKE
+from repro.engine.cost_model import CostModel, PostgresCostConstants
+
+
+class TestCostModelFormulas:
+    @pytest.fixture()
+    def cm(self):
+        return CostModel()
+
+    def test_defaults_match_postgres(self):
+        c = PostgresCostConstants()
+        assert c.seq_page_cost == 1.0
+        assert c.random_page_cost == 4.0
+        assert c.cpu_tuple_cost == 0.01
+        assert c.cpu_index_tuple_cost == 0.005
+        assert c.cpu_operator_cost == 0.0025
+
+    def test_bitmap_index_scan_scales_with_matches(self, cm):
+        few = cm.bitmap_index_scan(10, 100_000)
+        many = cm.bitmap_index_scan(10_000, 100_000)
+        assert many > few
+
+    def test_bitmap_heap_bounded_by_pages(self, cm):
+        # Matching everything cannot fetch more pages than exist.
+        small = cm.bitmap_heap_scan(1_000_000, table_pages=100,
+                                    num_predicates=0)
+        huge = cm.bitmap_heap_scan(10_000_000, table_pages=100,
+                                   num_predicates=0)
+        io_small = small - 1_000_000 * cm.constants.cpu_tuple_cost
+        io_huge = huge - 10_000_000 * cm.constants.cpu_tuple_cost
+        assert io_huge == pytest.approx(io_small)
+
+    def test_materialize_rescan_cheaper_than_build(self, cm):
+        assert cm.materialize_rescan(1000) < cm.materialize(1000)
+
+    def test_nested_loop_scales_with_outer(self, cm):
+        cheap_inner = 0.5
+        small = cm.nested_loop(10, cheap_inner, 10)
+        large = cm.nested_loop(10_000, cheap_inner, 10)
+        assert large > small * 100
+
+    def test_hash_join_probe_scales_with_output(self, cm):
+        low = cm.hash_join_probe(1000, 10)
+        high = cm.hash_join_probe(1000, 100_000)
+        assert high > low
+
+    def test_merge_join_linear_in_inputs(self, cm):
+        base = cm.merge_join(1000, 1000, 100)
+        double = cm.merge_join(2000, 2000, 100)
+        assert double == pytest.approx(
+            base + 2000 * cm.constants.cpu_operator_cost, rel=0.01
+        )
+
+    def test_limit_is_trivial(self, cm):
+        assert cm.limit() < 1.0
+
+    def test_aggregate_scales_with_aggs(self, cm):
+        single = cm.aggregate(1000, num_aggs=1)
+        double = cm.aggregate(1000, num_aggs=2)
+        assert double == pytest.approx(2 * single)
+
+
+class TestScalePresets:
+    @pytest.mark.parametrize("scale", [SMOKE, DEFAULT, PAPER],
+                             ids=["smoke", "default", "paper"])
+    def test_presets_internally_consistent(self, scale):
+        assert "imdb" in scale.databases
+        assert "tpc_h" in scale.databases
+        assert len(set(scale.databases)) == len(scale.databases)
+        assert scale.w3_train > scale.w3_synthetic >= scale.w3_job_light
+        assert min(scale.training_db_counts) >= 1
+        assert max(scale.training_db_counts) <= len(scale.databases) - 1
+        assert scale.drift_factors[0] == 1.0
+        assert scale.dace_epochs >= 1
+
+    def test_paper_scale_matches_paper_sizes(self):
+        assert len(PAPER.databases) == 20
+        assert PAPER.queries_per_db == 10_000
+        assert PAPER.w3_train == 100_000
+        assert PAPER.w3_job_light == 70
+        assert PAPER.training_db_counts == (1, 3, 5, 10, 15, 19)
+
+    def test_scales_strictly_ordered(self):
+        assert (SMOKE.queries_per_db < DEFAULT.queries_per_db
+                < PAPER.queries_per_db)
+        assert SMOKE.w3_train < DEFAULT.w3_train < PAPER.w3_train

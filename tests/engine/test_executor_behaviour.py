@@ -1,0 +1,126 @@
+"""Executor physics: spills, machine differences, scaling, Gather."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import load_database
+from repro.engine import EngineSession, M1, M2, MachineProfile
+from repro.engine.cost_model import CostModel, PostgresCostConstants
+from repro.sql.query import Join, Predicate, Query
+from repro.sql.generator import QueryGenerator, WorkloadSpec
+
+
+class TestMachineProfiles:
+    def test_profiles_validated(self):
+        with pytest.raises(ValueError):
+            MachineProfile(
+                name="bad", cpu_tuple_us=1, cpu_operator_us=1, seq_page_us=1,
+                random_page_us=1, hash_build_us=1, hash_probe_us=1,
+                sort_cmp_us=1, emit_us=1, work_mem_kb=1, spill_penalty=0.5,
+                startup_ms=0, noise_sigma=0.1,
+            )
+        with pytest.raises(ValueError):
+            MachineProfile(
+                name="bad", cpu_tuple_us=1, cpu_operator_us=1, seq_page_us=1,
+                random_page_us=1, hash_build_us=1, hash_probe_us=1,
+                sort_cmp_us=1, emit_us=1, work_mem_kb=1, spill_penalty=2,
+                startup_ms=0, noise_sigma=-1,
+            )
+
+    def test_m2_has_faster_cpu_slower_io(self):
+        assert M2.cpu_tuple_us < M1.cpu_tuple_us
+        assert M2.seq_page_us > M1.seq_page_us
+        assert M2.work_mem_kb < M1.work_mem_kb
+
+
+class TestSpillBehaviour:
+    def test_small_work_mem_spills_cost_latency(self, tiny_db):
+        """Shrinking work_mem makes big hash joins slower on the same data."""
+        roomy = MachineProfile(
+            name="roomy", cpu_tuple_us=0.08, cpu_operator_us=0.02,
+            seq_page_us=6, random_page_us=28, hash_build_us=0.14,
+            hash_probe_us=0.09, sort_cmp_us=0.035, emit_us=0.05,
+            work_mem_kb=1_000_000, spill_penalty=3.0, startup_ms=0.0,
+            noise_sigma=0.0,
+        )
+        cramped = MachineProfile(
+            name="cramped", cpu_tuple_us=0.08, cpu_operator_us=0.02,
+            seq_page_us=6, random_page_us=28, hash_build_us=0.14,
+            hash_probe_us=0.09, sort_cmp_us=0.035, emit_us=0.05,
+            work_mem_kb=1, spill_penalty=3.0, startup_ms=0.0,
+            noise_sigma=0.0,
+        )
+        query = Query(
+            tables=["orders", "items"],
+            joins=[Join("items", "order_id", "orders", "id")],
+        )
+        lat_roomy = EngineSession(tiny_db, roomy, seed=0).latency_ms(query)
+        lat_cramped = EngineSession(tiny_db, cramped, seed=0).latency_ms(query)
+        assert lat_cramped >= lat_roomy
+
+
+class TestGather:
+    def test_gather_appears_on_big_tables(self):
+        """Scaled TPC-H lineitem is large enough for a parallel scan."""
+        database = load_database("tpc_h").scale(4.0)
+        session = EngineSession(database, M1, seed=0)
+        plan = session.explain(Query(tables=["lineitem"]))
+        types = {n.node_type for n in plan.walk_dfs()}
+        assert "Gather" in types
+
+    def test_gather_executes(self):
+        database = load_database("tpc_h").scale(4.0)
+        session = EngineSession(database, M1, seed=0)
+        plan = session.explain_analyze(Query(tables=["lineitem"]))
+        gather = next(
+            n for n in plan.walk_dfs() if n.node_type == "Gather"
+        )
+        assert gather.actual_time_ms > 0
+        assert gather.actual_rows == database.table_rows("lineitem")
+
+
+class TestCostConstants:
+    def test_custom_constants_change_plans_or_costs(self, tiny_db,
+                                                    tiny_stats):
+        expensive_random = PostgresCostConstants(random_page_cost=100.0)
+        default_session = EngineSession(tiny_db, M1, seed=0,
+                                        stats=tiny_stats)
+        tweaked_session = EngineSession(
+            tiny_db, M1, seed=0, stats=tiny_stats,
+            constants=expensive_random,
+        )
+        query = Query(
+            tables=["items"],
+            predicates=[Predicate("items", "price", "=", 250.0)],
+        )
+        default_cost = default_session.explain(query).est_cost
+        tweaked_cost = tweaked_session.explain(query).est_cost
+        assert default_cost != tweaked_cost
+
+
+class TestLatencyComposition:
+    def test_root_time_geq_children_sum_components(self, tiny_db):
+        """Cumulative actual time includes every executed child."""
+        session = EngineSession(tiny_db, M1, seed=0)
+        generator = QueryGenerator(
+            tiny_db, WorkloadSpec(max_joins=2, min_predicates=1), seed=4
+        )
+        for query in generator.generate_many(15):
+            plan = session.explain_analyze(query)
+            for node in plan.walk_dfs():
+                if node.node_type == "Nested Loop":
+                    continue  # inner may be charged across loops
+                child_sum = sum(
+                    c.actual_time_ms for c in node.children
+                )
+                assert node.actual_time_ms >= child_sum - 1e-9
+
+    def test_noise_is_bounded(self, tiny_db):
+        """Latency variance across seeds stays within the lognormal band."""
+        query = Query(tables=["orders"])
+        latencies = [
+            EngineSession(tiny_db, M1, seed=s).latency_ms(query)
+            for s in range(12)
+        ]
+        spread = max(latencies) / min(latencies)
+        assert spread < 2.5

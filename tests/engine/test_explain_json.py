@@ -1,0 +1,62 @@
+"""EXPLAIN (FORMAT JSON) output."""
+
+import json
+
+import pytest
+
+from repro.engine import EngineSession, M1, explain_json, plan_to_json_dict
+from repro.sql.query import Join, Predicate, Query
+
+
+@pytest.fixture(scope="module")
+def analyzed_plan(tiny_db):
+    session = EngineSession(tiny_db, M1, seed=0)
+    query = Query(
+        tables=["users", "orders"],
+        joins=[Join("orders", "user_id", "users", "id")],
+        predicates=[Predicate("users", "age", ">", 30)],
+    )
+    return session.explain_analyze(query)
+
+
+class TestExplainJson:
+    def test_parses_as_json(self, analyzed_plan):
+        document = json.loads(explain_json(analyzed_plan))
+        assert isinstance(document, list)
+        assert "Plan" in document[0]
+
+    def test_pg_key_names(self, analyzed_plan):
+        root = plan_to_json_dict(analyzed_plan)
+        assert root["Node Type"] == "Aggregate"
+        assert "Total Cost" in root
+        assert "Plan Rows" in root
+        assert "Actual Total Time" in root
+        assert "Plans" in root
+
+    def test_tree_structure_preserved(self, analyzed_plan):
+        root = plan_to_json_dict(analyzed_plan)
+
+        def count(node):
+            return 1 + sum(count(c) for c in node.get("Plans", []))
+
+        assert count(root) == analyzed_plan.num_nodes()
+
+    def test_scan_metadata(self, analyzed_plan):
+        root = plan_to_json_dict(analyzed_plan)
+
+        def find_scans(node, out):
+            if "Relation Name" in node:
+                out.append(node)
+            for child in node.get("Plans", []):
+                find_scans(child, out)
+            return out
+
+        scans = find_scans(root, [])
+        assert {s["Relation Name"] for s in scans} <= {"users", "orders"}
+        assert any("Filter" in s for s in scans)
+
+    def test_unexecuted_plan_has_no_actuals(self, tiny_db):
+        session = EngineSession(tiny_db, M1, seed=0)
+        plan = session.explain(Query(tables=["users"]))
+        root = plan_to_json_dict(plan)
+        assert "Actual Total Time" not in root

@@ -1,0 +1,182 @@
+"""Exact cardinality computation, validated against brute-force joins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.datagen import NULL_SENTINEL
+from repro.engine.true_card import TrueCardinalityCalculator, predicate_mask
+from repro.sql.query import Join, Predicate, Query
+
+
+def brute_force_two_way(left_keys, right_keys, left_mask, right_mask) -> int:
+    """O(n*m) reference join count."""
+    count = 0
+    lk = left_keys[left_mask]
+    rk = right_keys[right_mask]
+    for value in lk:
+        if value == NULL_SENTINEL:
+            continue
+        count += int((rk == value).sum())
+    return count
+
+
+class TestPredicateMask:
+    def test_eq_int(self):
+        values = np.array([1, 2, 2, 3], dtype=np.int64)
+        predicate = Predicate("t", "c", "=", 2)
+        np.testing.assert_array_equal(
+            predicate_mask(values, predicate), [False, True, True, False]
+        )
+
+    def test_range_ops(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert predicate_mask(values, Predicate("t", "c", "<", 2.5)).sum() == 2
+        assert predicate_mask(values, Predicate("t", "c", "<=", 2.0)).sum() == 2
+        assert predicate_mask(values, Predicate("t", "c", ">", 1.0)).sum() == 2
+        assert predicate_mask(values, Predicate("t", "c", ">=", 3.0)).sum() == 1
+        assert predicate_mask(values, Predicate("t", "c", "!=", 2.0)).sum() == 2
+
+    def test_null_int_never_matches(self):
+        values = np.array([NULL_SENTINEL, 5], dtype=np.int64)
+        # The sentinel is very negative; `< 10` must still exclude it.
+        mask = predicate_mask(values, Predicate("t", "c", "<", 10))
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_null_float_never_matches(self):
+        values = np.array([np.nan, 5.0])
+        for op in ("=", "<", ">", "!=", "<=", ">="):
+            mask = predicate_mask(values, Predicate("t", "c", op, 5.0))
+            assert not mask[0]
+
+
+class TestScanRows:
+    def test_no_predicates_counts_all(self, tiny_db):
+        calc = TrueCardinalityCalculator(tiny_db)
+        assert calc.scan_rows("users", []) == 500
+
+    def test_conjunction(self, tiny_db):
+        calc = TrueCardinalityCalculator(tiny_db)
+        p1 = Predicate("users", "age", ">", 40)
+        p2 = Predicate("users", "age", "<", 50)
+        ages = tiny_db.column_array("users", "age")
+        expected = int(((ages > 40) & (ages < 50)).sum())
+        assert calc.scan_rows("users", [p1, p2]) == expected
+
+    def test_mask_cache_hit(self, tiny_db):
+        calc = TrueCardinalityCalculator(tiny_db)
+        p = Predicate("users", "age", ">", 40)
+        m1 = calc.scan_mask("users", [p])
+        m2 = calc.scan_mask("users", [p])
+        assert m1 is m2
+
+
+class TestSubsetRows:
+    def test_two_way_matches_brute_force(self, tiny_db):
+        calc = TrueCardinalityCalculator(tiny_db)
+        query = Query(
+            tables=["users", "orders"],
+            joins=[Join("orders", "user_id", "users", "id")],
+            predicates=[Predicate("users", "age", ">", 50),
+                        Predicate("orders", "amount", "<", 300)],
+        )
+        got = calc.subset_rows(query, ["users", "orders"])
+        users_mask = calc.scan_mask("users", query.predicates_on("users"))
+        orders_mask = calc.scan_mask("orders", query.predicates_on("orders"))
+        expected = brute_force_two_way(
+            tiny_db.column_array("orders", "user_id"),
+            tiny_db.column_array("users", "id"),
+            orders_mask,
+            users_mask,
+        )
+        assert got == expected
+
+    def test_three_way_chain_matches_brute_force(self, tiny_db):
+        calc = TrueCardinalityCalculator(tiny_db)
+        query = Query(
+            tables=["users", "orders", "items"],
+            joins=[Join("orders", "user_id", "users", "id"),
+                   Join("items", "order_id", "orders", "id")],
+            predicates=[Predicate("users", "age", "<", 40),
+                        Predicate("items", "price", ">", 250)],
+        )
+        got = calc.subset_rows(query, ["users", "orders", "items"])
+        # Brute force via per-order counting.
+        users_ok = calc.scan_mask("users", query.predicates_on("users"))
+        ok_users = set(tiny_db.column_array("users", "id")[users_ok].tolist())
+        items_ok = calc.scan_mask("items", query.predicates_on("items"))
+        item_orders = tiny_db.column_array("items", "order_id")[items_ok]
+        expected = 0
+        order_users = tiny_db.column_array("orders", "user_id")
+        order_ids = tiny_db.column_array("orders", "id")
+        items_per_order = {}
+        for order in item_orders.tolist():
+            items_per_order[order] = items_per_order.get(order, 0) + 1
+        for order_id, user in zip(order_ids.tolist(), order_users.tolist()):
+            if user in ok_users:
+                expected += items_per_order.get(order_id, 0)
+        assert got == expected
+
+    def test_unfiltered_fk_join_equals_child_size(self, tiny_db):
+        """FK joins with no filters return exactly the child cardinality."""
+        calc = TrueCardinalityCalculator(tiny_db)
+        query = Query(
+            tables=["users", "orders"],
+            joins=[Join("orders", "user_id", "users", "id")],
+        )
+        assert calc.subset_rows(query, ["users", "orders"]) == 2000
+
+    def test_single_table_subset(self, tiny_db):
+        calc = TrueCardinalityCalculator(tiny_db)
+        query = Query(tables=["users"],
+                      predicates=[Predicate("users", "age", ">", 200)])
+        assert calc.subset_rows(query, ["users"]) == 0.0
+
+    def test_ignore_predicates_on(self, tiny_db):
+        calc = TrueCardinalityCalculator(tiny_db)
+        query = Query(
+            tables=["users", "orders"],
+            joins=[Join("orders", "user_id", "users", "id")],
+            predicates=[Predicate("orders", "amount", "<", 100)],
+        )
+        with_filter = calc.subset_rows(query, ["users", "orders"])
+        without = calc.subset_rows(
+            query, ["users", "orders"], ignore_predicates_on="orders"
+        )
+        assert without == 2000
+        assert with_filter < without
+
+    def test_non_tree_subset_raises(self, tiny_db):
+        calc = TrueCardinalityCalculator(tiny_db)
+        query = Query(
+            tables=["users", "orders", "items"],
+            joins=[Join("orders", "user_id", "users", "id"),
+                   Join("items", "order_id", "orders", "id")],
+        )
+        with pytest.raises(ValueError):
+            # {users, items} has no connecting join.
+            calc.subset_rows(query, ["users", "items"])
+
+    @given(
+        age_cut=st.integers(min_value=18, max_value=80),
+        amount_cut=st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_filters(self, tiny_db, age_cut, amount_cut):
+        """Adding a filter can only shrink the join result."""
+        calc = TrueCardinalityCalculator(tiny_db)
+        base = Query(
+            tables=["users", "orders"],
+            joins=[Join("orders", "user_id", "users", "id")],
+            predicates=[Predicate("users", "age", "<", age_cut)],
+        )
+        tighter = Query(
+            tables=["users", "orders"],
+            joins=base.joins,
+            predicates=base.predicates
+            + [Predicate("orders", "amount", "<", amount_cut)],
+        )
+        assert calc.subset_rows(tighter, tighter.tables) <= calc.subset_rows(
+            base, base.tables
+        )

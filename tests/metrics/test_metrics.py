@@ -1,0 +1,72 @@
+"""q-error summaries and table formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import format_table, qerror_summary
+
+
+class TestQErrorSummary:
+    def test_perfect(self):
+        values = np.array([1.0, 5.0, 100.0])
+        summary = qerror_summary(values, values)
+        assert summary.median == pytest.approx(1.0)
+        assert summary.max == pytest.approx(1.0)
+        assert summary.count == 3
+
+    def test_ordering(self):
+        rng = np.random.default_rng(0)
+        actual = rng.lognormal(0, 1, 500)
+        est = actual * rng.lognormal(0, 0.5, 500)
+        summary = qerror_summary(est, actual)
+        assert (summary.median <= summary.p90 <= summary.p95
+                <= summary.p99 <= summary.max)
+        assert summary.mean >= 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            qerror_summary(np.ones(3), np.ones(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            qerror_summary(np.array([]), np.array([]))
+
+    def test_as_row(self):
+        summary = qerror_summary(np.ones(5), np.ones(5))
+        assert len(summary.as_row()) == 6
+
+    @given(scale=st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_scaling(self, scale):
+        actual = np.array([1.0, 10.0, 100.0])
+        summary = qerror_summary(actual * scale, actual)
+        assert summary.median == pytest.approx(scale, rel=1e-9)
+        assert summary.max == pytest.approx(scale, rel=1e-9)
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(
+            ["model", "median", "max"],
+            [["DACE", 1.23, 4.47], ["Zero-Shot", 1.34, 52.6]],
+            title="Tab I",
+        )
+        assert "Tab I" in text
+        assert "DACE" in text
+        assert "1.23" in text
+        assert "52.60" in text
+
+    def test_alignment(self):
+        text = format_table(["a", "b"], [["xxxx", 1], ["y", 22]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[2:]}) <= 2
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_large_numbers(self):
+        text = format_table(["x"], [[123456.78]])
+        assert "123457" in text

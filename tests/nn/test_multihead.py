@@ -1,0 +1,85 @@
+"""Multi-head attention: shapes, masking, bias, and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.attention import masked_self_attention, multi_head_self_attention
+
+RNG = np.random.default_rng(11)
+
+
+class TestMultiHead:
+    def test_output_shape(self):
+        x = Tensor(RNG.normal(size=(2, 5, 8)))
+        mask = np.ones((2, 5, 5), dtype=bool)
+        out = multi_head_self_attention(x, x, x, num_heads=4, mask=mask)
+        assert out.shape == (2, 5, 8)
+
+    def test_indivisible_heads_rejected(self):
+        x = Tensor(RNG.normal(size=(1, 3, 10)))
+        mask = np.ones((1, 3, 3), dtype=bool)
+        with pytest.raises(ValueError):
+            multi_head_self_attention(x, x, x, num_heads=3, mask=mask)
+
+    def test_single_head_matches_plain_attention(self):
+        x = Tensor(RNG.normal(size=(2, 4, 6)))
+        mask = np.tril(np.ones((4, 4), dtype=bool))[None].repeat(2, axis=0)
+        multi = multi_head_self_attention(x, x, x, num_heads=1, mask=mask)
+        plain = masked_self_attention(x, x, x, mask)
+        np.testing.assert_allclose(multi.data, plain.data, atol=1e-10)
+
+    def test_mask_blocks_information(self):
+        n, d = 4, 8
+        mask = np.eye(n, dtype=bool)[None]
+        q = Tensor(RNG.normal(size=(1, n, d)))
+        k = Tensor(RNG.normal(size=(1, n, d)))
+        v1 = RNG.normal(size=(1, n, d))
+        v2 = v1.copy()
+        v2[0, 2] += 50.0  # invisible to every other node
+        out1 = multi_head_self_attention(q, k, Tensor(v1), 2, mask).data
+        out2 = multi_head_self_attention(q, k, Tensor(v2), 2, mask).data
+        np.testing.assert_allclose(out1[0, [0, 1, 3]], out2[0, [0, 1, 3]],
+                                   atol=1e-9)
+
+    def test_bias_changes_output(self):
+        x = Tensor(RNG.normal(size=(1, 3, 4)))
+        mask = np.ones((1, 3, 3), dtype=bool)
+        no_bias = multi_head_self_attention(x, x, x, 2, mask).data
+        bias = Tensor(RNG.normal(size=(1, 3, 3)))
+        with_bias = multi_head_self_attention(x, x, x, 2, mask, bias).data
+        assert np.abs(no_bias - with_bias).max() > 1e-9
+
+    def test_gradients_flow(self):
+        x = Tensor(RNG.normal(size=(2, 4, 8)), requires_grad=True)
+        bias = Tensor(np.zeros((2, 4, 4)), requires_grad=True)
+        mask = np.ones((2, 4, 4), dtype=bool)
+        out = multi_head_self_attention(x, x, x, 4, mask, bias)
+        out.sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+        assert bias.grad is not None and np.isfinite(bias.grad).all()
+
+    def test_gradient_matches_finite_difference(self):
+        n, d = 3, 4
+        mask = np.ones((1, n, n), dtype=bool)
+        base = RNG.normal(size=(1, n, d))
+
+        def forward(arr):
+            t = Tensor(arr)
+            return multi_head_self_attention(t, t, t, 2, mask).sum().item()
+
+        t = Tensor(base.copy(), requires_grad=True)
+        multi_head_self_attention(t, t, t, 2, mask).sum().backward()
+        eps = 1e-6
+        numeric = np.zeros_like(base)
+        flat = base.reshape(-1)
+        num_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = forward(base)
+            flat[i] = original - eps
+            minus = forward(base)
+            flat[i] = original
+            num_flat[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-5, rtol=1e-4)

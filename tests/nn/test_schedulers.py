@@ -1,0 +1,95 @@
+"""Learning-rate schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineLR,
+    Linear,
+    SGD,
+    StepLR,
+    Tensor,
+    clip_grad_norm,
+)
+
+
+@pytest.fixture()
+def optimizer():
+    layer = Linear(3, 2, rng=np.random.default_rng(0))
+    return SGD(layer.parameters(), lr=0.1)
+
+
+class TestStepLR:
+    def test_decays_at_steps(self, optimizer):
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(6)]
+        assert lrs[0] == pytest.approx(0.1)   # epoch 1
+        assert lrs[1] == pytest.approx(0.05)  # epoch 2
+        assert lrs[3] == pytest.approx(0.025)
+        assert lrs[5] == pytest.approx(0.0125)
+
+    def test_validates_step_size(self, optimizer):
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+
+
+class TestCosineLR:
+    def test_monotone_decay_to_min(self, optimizer):
+        scheduler = CosineLR(optimizer, total_epochs=10, min_lr=1e-4)
+        lrs = [scheduler.step() for _ in range(10)]
+        assert all(b <= a + 1e-12 for a, b in zip(lrs, lrs[1:]))
+        assert lrs[-1] == pytest.approx(1e-4)
+
+    def test_stays_at_min_after_total(self, optimizer):
+        scheduler = CosineLR(optimizer, total_epochs=3, min_lr=1e-4)
+        for _ in range(6):
+            lr = scheduler.step()
+        assert lr == pytest.approx(1e-4)
+
+    def test_validates_epochs(self, optimizer):
+        with pytest.raises(ValueError):
+            CosineLR(optimizer, total_epochs=0)
+
+
+class TestGradClip:
+    def test_clips_large_gradients(self):
+        layer = Linear(4, 1, rng=np.random.default_rng(1))
+        out = (layer(Tensor(np.ones((8, 4)) * 100.0)) ** 2).mean()
+        out.backward()
+        norm_before = clip_grad_norm(layer.parameters(), max_norm=1.0)
+        assert norm_before > 1.0
+        norm_after = np.sqrt(sum(
+            float((p.grad ** 2).sum()) for p in layer.parameters()
+        ))
+        assert norm_after == pytest.approx(1.0, rel=1e-6)
+
+    def test_leaves_small_gradients(self):
+        layer = Linear(2, 1, rng=np.random.default_rng(2))
+        out = (layer(Tensor(np.ones((2, 2)) * 1e-4)) ** 2).mean()
+        out.backward()
+        grads_before = [p.grad.copy() for p in layer.parameters()]
+        clip_grad_norm(layer.parameters(), max_norm=1e6)
+        for before, parameter in zip(grads_before, layer.parameters()):
+            np.testing.assert_allclose(parameter.grad, before)
+
+    def test_invalid_max_norm(self):
+        layer = Linear(2, 1, rng=np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            clip_grad_norm(layer.parameters(), max_norm=0.0)
+
+
+class TestTrainerIntegration:
+    def test_cosine_schedule_trains(self, train_datasets):
+        from repro.core import DACE, TrainingConfig
+        dace = DACE(training=TrainingConfig(
+            epochs=5, batch_size=32, lr_schedule="cosine", grad_clip=5.0,
+        ))
+        dace.fit(train_datasets[0])
+        history = dace.trainer.history
+        assert history[-1]["train_loss"] < history[0]["train_loss"] * 2
+
+    def test_unknown_schedule_rejected(self):
+        from repro.core import TrainingConfig
+        with pytest.raises(ValueError):
+            TrainingConfig(lr_schedule="linear")

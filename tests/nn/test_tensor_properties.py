@@ -1,0 +1,123 @@
+"""Hypothesis property tests for the autodiff tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+
+floats = st.floats(min_value=-10, max_value=10, allow_nan=False,
+                   allow_infinity=False, width=64)
+
+
+def small_arrays(max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=floats,
+    )
+
+
+class TestAlgebraicProperties:
+    @given(x=small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutes(self, x):
+        a = Tensor(x)
+        b = Tensor(x * 0.5 + 1.0)
+        np.testing.assert_allclose((a + b).data, (b + a).data)
+
+    @given(x=small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_double_negation(self, x):
+        t = Tensor(x)
+        np.testing.assert_allclose((-(-t)).data, x)
+
+    @given(x=small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_exp_log_inverse(self, x):
+        t = Tensor(np.abs(x) + 0.5)
+        np.testing.assert_allclose(t.log().exp().data, t.data, rtol=1e-9)
+
+    @given(x=small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_relu_idempotent(self, x):
+        t = Tensor(x)
+        np.testing.assert_allclose(t.relu().relu().data, t.relu().data)
+
+    @given(x=small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, x):
+        out = Tensor(x).softmax(axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+        assert (out >= 0).all()
+
+    @given(x=small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_numpy(self, x):
+        np.testing.assert_allclose(Tensor(x).sum().item(), x.sum())
+
+
+class TestGradientProperties:
+    @given(x=small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_gradient_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+    @given(x=small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_linear_scaling_of_gradients(self, x):
+        """d(k * sum(x))/dx == k everywhere."""
+        k = 3.7
+        t = Tensor(x, requires_grad=True)
+        (t.sum() * k).backward()
+        np.testing.assert_allclose(t.grad, np.full_like(x, k))
+
+    @given(x=small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_grad_additivity_over_branches(self, x):
+        """Gradients accumulate linearly across reuse of the same tensor."""
+        t = Tensor(x, requires_grad=True)
+        (t.sum() + t.sum()).backward()
+        np.testing.assert_allclose(t.grad, np.full_like(x, 2.0))
+
+    @given(
+        rows=st.integers(min_value=1, max_value=4),
+        inner=st.integers(min_value=1, max_value=4),
+        cols=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_grad_shapes(self, rows, inner, cols):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(rows, inner)), requires_grad=True)
+        b = Tensor(rng.normal(size=(inner, cols)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (rows, inner)
+        assert b.grad.shape == (inner, cols)
+
+    @given(x=small_arrays(max_dims=1))
+    @settings(max_examples=40, deadline=None)
+    def test_masked_fill_grad_zero_under_mask(self, x):
+        mask = np.zeros_like(x, dtype=bool)
+        mask[0] = True
+        t = Tensor(x, requires_grad=True)
+        t.masked_fill(mask, -99.0).sum().backward()
+        assert t.grad[0] == 0.0
+        np.testing.assert_allclose(t.grad[1:], 1.0)
+
+
+class TestBroadcastingProperties:
+    @given(
+        batch=st.integers(min_value=1, max_value=4),
+        n=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bias_broadcast_grad_sums_over_batch(self, batch, n):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(batch, n)))
+        bias = Tensor(rng.normal(size=(n,)), requires_grad=True)
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(n, float(batch)))

@@ -1,0 +1,166 @@
+"""IN-list predicates and GROUP BY queries across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import load_database
+from repro.engine import EngineSession, M1
+from repro.engine.true_card import TrueCardinalityCalculator, predicate_mask
+from repro.sql import (
+    Join,
+    Predicate,
+    Query,
+    QueryGenerator,
+    WorkloadSpec,
+    parse_query,
+    render_sql,
+)
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return load_database("imdb")
+
+
+@pytest.fixture(scope="module")
+def imdb_session(imdb):
+    return EngineSession(imdb, M1, seed=0)
+
+
+class TestInPredicates:
+    def test_requires_values(self):
+        with pytest.raises(ValueError):
+            Predicate("t", "c", "in")
+        with pytest.raises(ValueError):
+            Predicate("t", "c", "in", values=())
+
+    def test_values_only_for_in(self):
+        with pytest.raises(ValueError):
+            Predicate("t", "c", "=", 1.0, values=(1.0, 2.0))
+
+    def test_mask_matches_membership(self):
+        values = np.array([1, 2, 3, 4, 2], dtype=np.int64)
+        predicate = Predicate("t", "c", "in", values=(2.0, 4.0))
+        np.testing.assert_array_equal(
+            predicate_mask(values, predicate),
+            [False, True, False, True, True],
+        )
+
+    def test_null_excluded_from_in(self):
+        from repro.catalog.datagen import NULL_SENTINEL
+        values = np.array([NULL_SENTINEL, 2], dtype=np.int64)
+        predicate = Predicate("t", "c", "in",
+                              values=(float(NULL_SENTINEL), 2.0))
+        mask = predicate_mask(values, predicate)
+        assert not mask[0]
+
+    def test_in_selectivity_geq_eq(self, imdb_session):
+        estimator = imdb_session.estimator
+        eq = estimator.predicate_selectivity(
+            Predicate("title", "kind_id", "=", 1)
+        )
+        membership = estimator.predicate_selectivity(
+            Predicate("title", "kind_id", "in", values=(1.0, 2.0))
+        )
+        assert membership >= eq
+
+    def test_in_estimate_close_to_truth(self, imdb, imdb_session):
+        predicate = Predicate("title", "kind_id", "in", values=(1.0, 2.0))
+        est = imdb_session.estimator.scan_rows("title", [predicate])
+        true = TrueCardinalityCalculator(imdb).scan_rows("title", [predicate])
+        assert est / true < 2.0
+        assert true / est < 2.0
+
+    def test_sql_roundtrip(self):
+        query = Query(
+            tables=["t"],
+            predicates=[Predicate("t", "c", "in", values=(1.0, 2.0, 3.0))],
+        )
+        sql = render_sql(query)
+        assert "IN (1, 2, 3)" in sql
+        parsed = parse_query(sql)
+        assert parsed.predicates[0].values == (1.0, 2.0, 3.0)
+
+
+class TestGroupBy:
+    def test_requires_aggregate(self):
+        with pytest.raises(ValueError):
+            Query(tables=["t"], aggregate=False, group_by=("t", "c"))
+
+    def test_requires_table_in_from(self):
+        with pytest.raises(ValueError):
+            Query(tables=["t"], group_by=("other", "c"))
+
+    def test_sql_roundtrip(self):
+        query = Query(tables=["t"], group_by=("t", "c"))
+        sql = render_sql(query)
+        assert "GROUP BY t.c" in sql
+        assert "t.c, COUNT(*)" in sql
+        parsed = parse_query(sql)
+        assert parsed.group_by == ("t", "c")
+
+    def test_plan_has_group_aggregate(self, imdb_session):
+        query = Query(tables=["title"], group_by=("title", "kind_id"))
+        plan = imdb_session.explain(query)
+        assert plan.node_type == "Group Aggregate"
+
+    def test_group_count_exact_single_table(self, imdb, imdb_session):
+        query = Query(tables=["title"], group_by=("title", "kind_id"))
+        plan = imdb_session.explain_analyze(query)
+        kind = imdb.column_array("title", "kind_id")
+        assert plan.actual_rows == len(np.unique(kind))
+
+    def test_group_count_with_filter(self, imdb, imdb_session):
+        query = Query(
+            tables=["title"],
+            predicates=[Predicate("title", "kind_id", "<=", 2)],
+            group_by=("title", "kind_id"),
+        )
+        plan = imdb_session.explain_analyze(query)
+        assert plan.actual_rows == 2
+
+    def test_group_count_over_join(self, imdb, imdb_session):
+        query = Query(
+            tables=["title", "movie_info_idx"],
+            joins=[Join("movie_info_idx", "movie_id", "title", "id")],
+            predicates=[
+                Predicate("movie_info_idx", "info_type_id", "=", 99)
+            ],
+            group_by=("title", "kind_id"),
+        )
+        plan = imdb_session.explain_analyze(query)
+        # Brute force: kinds of titles that have a matching movie_info_idx.
+        mii = imdb.data["movie_info_idx"]
+        matching_movies = set(
+            mii["movie_id"][mii["info_type_id"] == 99].tolist()
+        )
+        title_ids = imdb.column_array("title", "id")
+        kinds = imdb.column_array("title", "kind_id")
+        expected = len({
+            int(kind) for tid, kind in zip(title_ids, kinds)
+            if int(tid) in matching_movies
+        })
+        assert plan.actual_rows == expected
+
+    def test_group_estimate_bounded_by_distinct(self, imdb_session):
+        query = Query(tables=["title"], group_by=("title", "kind_id"))
+        plan = imdb_session.explain(query)
+        assert 1 <= plan.est_rows <= 10
+
+    def test_generator_produces_group_by(self, imdb):
+        spec = WorkloadSpec(group_by_fraction=1.0, max_joins=1)
+        generator = QueryGenerator(imdb, spec, seed=0)
+        queries = generator.generate_many(20)
+        assert sum(q.group_by is not None for q in queries) >= 10
+
+    def test_grouped_query_trains_dace(self, imdb):
+        """Grouped plans flow through featurization and training."""
+        from repro.core import DACE, TrainingConfig
+        from repro.workloads import collect_workload
+        spec = WorkloadSpec(max_joins=2, min_predicates=1,
+                            group_by_fraction=0.5, in_fraction=0.3)
+        queries = QueryGenerator(imdb, spec, seed=1).generate_many(60)
+        dataset = collect_workload(imdb, queries)
+        dace = DACE(training=TrainingConfig(epochs=4, batch_size=32))
+        dace.fit(dataset)
+        assert np.isfinite(dace.predict(dataset)).all()

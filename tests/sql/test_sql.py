@@ -1,0 +1,159 @@
+"""Query spec validation, generation invariants, SQL text roundtrip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import load_database
+from repro.sql import (
+    Join,
+    Predicate,
+    Query,
+    QueryGenerator,
+    WorkloadSpec,
+    parse_query,
+    render_sql,
+)
+
+
+class TestQuerySpec:
+    def test_empty_tables_rejected(self):
+        with pytest.raises(ValueError):
+            Query(tables=[])
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(ValueError):
+            Query(tables=["a", "a"])
+
+    def test_join_on_missing_table_rejected(self):
+        with pytest.raises(ValueError):
+            Query(tables=["a"], joins=[Join("a", "x", "b", "y")])
+
+    def test_predicate_on_missing_table_rejected(self):
+        with pytest.raises(ValueError):
+            Query(tables=["a"], predicates=[Predicate("b", "x", "=", 1)])
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("a", "x", "~", 1)
+
+    def test_connectivity(self):
+        connected = Query(
+            tables=["a", "b"], joins=[Join("a", "x", "b", "y")]
+        )
+        assert connected.is_connected()
+        disconnected = Query(tables=["a", "b"])
+        assert not disconnected.is_connected()
+
+    def test_joins_between(self):
+        query = Query(
+            tables=["a", "b", "c"],
+            joins=[Join("a", "x", "b", "y"), Join("b", "y", "c", "z")],
+        )
+        between = query.joins_between(["a"], ["b", "c"])
+        assert len(between) == 1
+        assert between[0].tables() == ("a", "b")
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def database(self):
+        return load_database("imdb")
+
+    def test_queries_valid(self, database):
+        generator = QueryGenerator(
+            database, WorkloadSpec(max_joins=4, max_predicates=4), seed=0
+        )
+        for query in generator.generate_many(50):
+            query.validate_against(database.schema)
+            assert query.is_connected()
+
+    def test_join_count_bounded(self, database):
+        spec = WorkloadSpec(max_joins=2)
+        generator = QueryGenerator(database, spec, seed=1)
+        assert all(
+            q.num_joins <= 2 for q in generator.generate_many(50)
+        )
+
+    def test_min_predicates(self, database):
+        spec = WorkloadSpec(min_predicates=2, max_predicates=3)
+        generator = QueryGenerator(database, spec, seed=2)
+        queries = generator.generate_many(30)
+        assert np.mean([len(q.predicates) for q in queries]) >= 1.5
+
+    def test_deterministic(self, database):
+        a = QueryGenerator(database, seed=5).generate_many(10)
+        b = QueryGenerator(database, seed=5).generate_many(10)
+        assert [render_sql(q) for q in a] == [render_sql(q) for q in b]
+
+    def test_inconsistent_spec_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(min_predicates=3, max_predicates=1)
+
+    def test_predicates_hit_data(self, database):
+        """Generated equality predicates anchor on existing values."""
+        generator = QueryGenerator(
+            database, WorkloadSpec(min_predicates=1, eq_fraction=1.0), seed=3
+        )
+        for query in generator.generate_many(20):
+            for predicate in query.predicates:
+                if predicate.op != "=":
+                    continue
+                values = database.column_array(
+                    predicate.table, predicate.column
+                )
+                assert (values == predicate.value).any()
+
+
+class TestSQLText:
+    def test_render_contains_pieces(self):
+        query = Query(
+            tables=["a", "b"],
+            joins=[Join("a", "x", "b", "y")],
+            predicates=[Predicate("a", "z", ">", 5)],
+        )
+        sql = render_sql(query)
+        assert "SELECT COUNT(*)" in sql
+        assert "FROM a, b" in sql
+        assert "a.x = b.y" in sql
+        assert "a.z > 5" in sql
+
+    def test_roundtrip(self):
+        query = Query(
+            tables=["users", "orders"],
+            joins=[Join("orders", "user_id", "users", "id")],
+            predicates=[
+                Predicate("users", "age", ">=", 30),
+                Predicate("orders", "amount", "<", 99.5),
+            ],
+        )
+        parsed = parse_query(render_sql(query))
+        assert parsed.tables == query.tables
+        assert parsed.joins == query.joins
+        assert parsed.predicates == query.predicates
+        assert parsed.aggregate == query.aggregate
+
+    def test_parse_select_star(self):
+        parsed = parse_query("SELECT * FROM t")
+        assert not parsed.aggregate
+        assert parsed.tables == ["t"]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_query("DELETE FROM t")
+
+    def test_parse_rejects_unsupported_condition(self):
+        with pytest.raises(ValueError):
+            parse_query("SELECT * FROM t WHERE t.a LIKE 'x'")
+
+    @given(value=st.floats(min_value=-1e6, max_value=1e6,
+                           allow_nan=False, allow_infinity=False))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_preserves_values(self, value):
+        query = Query(
+            tables=["t"],
+            predicates=[Predicate("t", "c", "<", float(value))],
+        )
+        parsed = parse_query(render_sql(query))
+        assert parsed.predicates[0].value == pytest.approx(value, rel=1e-9)

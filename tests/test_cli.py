@@ -1,0 +1,77 @@
+"""End-to-end CLI workflows."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_zoo_listing(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "imdb" in out
+        assert "tpc_h" in out
+
+    def test_collect_train_evaluate_explain(self, tmp_path, capsys):
+        workload = str(tmp_path / "airline.jsonl")
+        model_dir = str(tmp_path / "model")
+        assert main([
+            "collect", "--db", "airline", "--count", "60",
+            "--out", workload,
+        ]) == 0
+        assert os.path.exists(workload)
+
+        assert main([
+            "train", "--workload", workload, "--out", model_dir,
+            "--epochs", "5",
+        ]) == 0
+        assert os.path.exists(os.path.join(model_dir, "weights.npz"))
+
+        assert main([
+            "evaluate", "--model", model_dir, "--workload", workload,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "median" in out
+
+        assert main([
+            "explain", "--db", "airline", "--analyze",
+            "--model", model_dir,
+            "--sql", "SELECT COUNT(*) FROM fact",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Aggregate" in out
+        assert "DACE predicted latency" in out
+
+    def test_finetune(self, tmp_path, capsys):
+        workload = str(tmp_path / "credit.jsonl")
+        workload_m2 = str(tmp_path / "credit_m2.jsonl")
+        model_dir = str(tmp_path / "model")
+        tuned_dir = str(tmp_path / "tuned")
+        main(["collect", "--db", "credit", "--count", "50",
+              "--out", workload])
+        main(["collect", "--db", "credit", "--count", "50",
+              "--machine", "M2", "--out", workload_m2])
+        main(["train", "--workload", workload, "--out", model_dir,
+              "--epochs", "4"])
+        assert main([
+            "finetune", "--model", model_dir, "--workload", workload_m2,
+            "--out", tuned_dir, "--epochs", "3",
+        ]) == 0
+        assert os.path.exists(os.path.join(tuned_dir, "weights.npz"))
+
+    def test_unknown_db_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["collect", "--db", "nope", "--out",
+                  str(tmp_path / "x.jsonl")])
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "tab1" in out
+        assert "fig07" in out
+
+    def test_bench_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "nonexistent"])

@@ -1,0 +1,88 @@
+"""Repository self-consistency: docs, benches, and exports stay aligned."""
+
+import pathlib
+import re
+
+import pytest
+
+import repro.bench as bench
+
+ROOT = pathlib.Path(__file__).parent.parent
+BENCH_FILES = sorted((ROOT / "benchmarks").glob("bench_*.py"))
+
+
+class TestBenchAlignment:
+    def test_every_paper_artifact_has_a_bench(self):
+        names = {path.stem for path in BENCH_FILES}
+        for artifact in ["fig04", "fig05", "fig06", "fig07", "fig08",
+                         "fig09", "fig10", "fig11", "fig12", "tab1",
+                         "tab2"]:
+            assert any(artifact in name for name in names), artifact
+
+    @pytest.mark.parametrize(
+        "path", BENCH_FILES, ids=[p.stem for p in BENCH_FILES]
+    )
+    def test_bench_files_use_exported_runners(self, path):
+        source = path.read_text()
+        imported = re.findall(
+            r"from repro\.bench import (\w+)", source
+        )
+        assert imported, f"{path.name} imports no runner"
+        for name in imported:
+            assert hasattr(bench, name), f"{name} not exported"
+            assert name in bench.__all__
+
+    def test_every_runner_used_by_some_bench(self):
+        all_sources = "\n".join(p.read_text() for p in BENCH_FILES)
+        runners = [
+            name for name in bench.__all__
+            if name.startswith(("fig", "tab1", "tab2", "ablation",
+                                "ensemble", "apps", "drift_taxonomy",
+                                "cardinality"))
+        ]
+        for runner in runners:
+            assert runner in all_sources, f"{runner} has no bench driver"
+
+
+class TestDocsAlignment:
+    def test_readme_examples_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for match in re.findall(r"`examples/(\w+\.py)`", readme):
+            assert (ROOT / "examples" / match).exists(), match
+
+    def test_experiments_md_references_real_results(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        results_dir = ROOT / "benchmarks" / "results" / "default"
+        for match in set(re.findall(r"`(\w+)\.txt`", text)):
+            assert (results_dir / f"{match}.txt").exists(), match
+
+    def test_design_md_lists_every_bench(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for path in BENCH_FILES:
+            assert path.name in design, f"{path.name} missing from DESIGN.md"
+
+    def test_required_docs_exist(self):
+        for name in ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+                     "docs/architecture.md", "docs/reproducing.md",
+                     "docs/api.md"]:
+            assert (ROOT / name).exists(), name
+
+
+class TestPackageExports:
+    def test_top_level_imports(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    @pytest.mark.parametrize("module_name", [
+        "repro.nn", "repro.catalog", "repro.sql", "repro.engine",
+        "repro.workloads", "repro.featurize", "repro.core",
+        "repro.baselines", "repro.cardest", "repro.apps", "repro.metrics",
+        "repro.bench",
+    ])
+    def test_all_exports_resolve(self, module_name):
+        import importlib
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} missing module docstring"
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"

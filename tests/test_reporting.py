@@ -1,0 +1,65 @@
+"""Markdown evaluation reports."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import evaluation_report, save_report
+
+
+@pytest.fixture(scope="module")
+def predictions(imdb_workload):
+    rng = np.random.default_rng(0)
+    return imdb_workload.latencies() * rng.lognormal(0, 0.3,
+                                                     len(imdb_workload))
+
+
+class TestReport:
+    def test_sections_present(self, imdb_workload, predictions):
+        report = evaluation_report("test-model", predictions, imdb_workload)
+        assert "# Evaluation report — test-model" in report
+        assert "## Accuracy (q-error)" in report
+        assert "## Ranking quality" in report
+        assert "## Worst" in report
+        assert "## Optimizer cardinality error by operator" in report
+
+    def test_worst_queries_have_sql_and_plans(self, imdb_workload,
+                                              predictions):
+        report = evaluation_report("m", predictions, imdb_workload,
+                                   worst_queries=2)
+        assert report.count("```sql") == 2
+        assert "SELECT" in report
+        assert "actual time=" in report
+
+    def test_plans_can_be_omitted(self, imdb_workload, predictions):
+        report = evaluation_report("m", predictions, imdb_workload,
+                                   include_plans=False)
+        assert "actual time=" not in report
+
+    def test_shape_validated(self, imdb_workload):
+        with pytest.raises(ValueError):
+            evaluation_report("m", np.ones(3), imdb_workload)
+
+    def test_save(self, imdb_workload, predictions, tmp_path):
+        path = str(tmp_path / "report.md")
+        save_report("m", predictions, imdb_workload, path)
+        with open(path) as handle:
+            assert "# Evaluation report" in handle.read()
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+        workload = str(tmp_path / "w.jsonl")
+        model_dir = str(tmp_path / "model")
+        main(["collect", "--db", "credit", "--count", "40",
+              "--out", workload])
+        main(["train", "--workload", workload, "--out", model_dir,
+              "--epochs", "4"])
+        capsys.readouterr()
+        assert main(["report", "--model", model_dir,
+                     "--workload", workload]) == 0
+        out = capsys.readouterr().out
+        assert "Evaluation report" in out
+        report_path = str(tmp_path / "report.md")
+        assert main(["report", "--model", model_dir,
+                     "--workload", workload, "--out", report_path]) == 0
+        import os
+        assert os.path.exists(report_path)

@@ -1,0 +1,44 @@
+"""Workload description summaries."""
+
+import pytest
+
+from repro.workloads import PlanDataset, describe, describe_text
+
+
+class TestDescribe:
+    def test_summary_fields(self, imdb_workload):
+        summary = describe(imdb_workload)
+        assert summary.queries == len(imdb_workload)
+        assert summary.databases == ["imdb"]
+        assert summary.latency_percentiles_ms["min"] <= (
+            summary.latency_percentiles_ms["max"]
+        )
+        assert sum(summary.join_histogram.values()) == len(imdb_workload)
+        assert sum(summary.operator_mix.values()) == sum(
+            s.num_nodes for s in imdb_workload
+        )
+        assert -1.0 <= summary.cost_latency_correlation <= 1.0
+
+    def test_cost_correlates(self, imdb_workload):
+        # The optimizer cost must be informative on this substrate.
+        assert describe(imdb_workload).cost_latency_correlation > 0.5
+
+    def test_text_rendering(self, imdb_workload):
+        text = describe_text(imdb_workload)
+        assert "labelled queries" in text
+        assert "latency (ms)" in text
+        assert "correlation" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe(PlanDataset())
+
+    def test_cli_describe(self, tmp_path, capsys):
+        from repro.cli import main
+        workload = str(tmp_path / "w.jsonl")
+        main(["collect", "--db", "credit", "--count", "30",
+              "--out", workload])
+        capsys.readouterr()
+        assert main(["describe", "--workload", workload]) == 0
+        out = capsys.readouterr().out
+        assert "30 labelled queries" in out

@@ -1,0 +1,51 @@
+"""Dataset persistence roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import load_dataset, save_dataset
+from repro.sql import render_sql
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self, imdb_workload, tmp_path):
+        path = str(tmp_path / "imdb.jsonl")
+        save_dataset(imdb_workload, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(imdb_workload)
+        for original, restored in zip(imdb_workload, loaded):
+            assert restored.database_name == original.database_name
+            assert render_sql(restored.query) == render_sql(original.query)
+            assert restored.latency_ms == pytest.approx(original.latency_ms)
+            assert restored.est_cost == pytest.approx(original.est_cost)
+            assert restored.num_nodes == original.num_nodes
+
+    def test_roundtrip_preserves_subplan_labels(self, imdb_workload, tmp_path):
+        path = str(tmp_path / "sub.jsonl")
+        save_dataset(imdb_workload[:5], path)
+        loaded = load_dataset(path)
+        for original, restored in zip(imdb_workload[:5], loaded):
+            for node_a, node_b in zip(
+                original.plan.walk_dfs(), restored.plan.walk_dfs()
+            ):
+                assert node_b.node_type == node_a.node_type
+                assert node_b.actual_time_ms == pytest.approx(
+                    node_a.actual_time_ms
+                )
+                assert node_b.est_rows == pytest.approx(node_a.est_rows)
+
+    def test_limit(self, imdb_workload, tmp_path):
+        path = str(tmp_path / "limited.jsonl")
+        save_dataset(imdb_workload, path)
+        loaded = load_dataset(path, limit=7)
+        assert len(loaded) == 7
+
+    def test_loaded_dataset_trains_a_model(self, imdb_workload, tmp_path):
+        """Serialized datasets must be usable exactly like fresh ones."""
+        from repro.baselines import PostgresCostBaseline
+        path = str(tmp_path / "train.jsonl")
+        save_dataset(imdb_workload, path)
+        loaded = load_dataset(path)
+        model = PostgresCostBaseline().fit(loaded)
+        predictions = model.predict_ms(loaded)
+        assert np.isfinite(predictions).all()
