@@ -1,0 +1,16 @@
+"""Serving runtime — per-plan vs micro-batched vs batched vs cached."""
+
+from repro.bench import serve_throughput
+
+
+def test_serve_throughput(benchmark, bench_scale, write_result):
+    result = benchmark.pedantic(
+        lambda: serve_throughput(bench_scale), rounds=1, iterations=1
+    )
+    write_result("serve_throughput", result["table"])
+    assert result["table"]
+    # The serving runtime's contract: warm-cache (and batched) serving is
+    # at least 5x the naive per-plan loop on a ~1k-plan workload.
+    assert result["cached_speedup"] >= 5.0
+    assert result["batched_speedup"] >= 1.0
+    assert result["cache_hit_rate"] == 1.0

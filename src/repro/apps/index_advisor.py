@@ -25,6 +25,7 @@ import numpy as np
 from repro.engine.plan import PlanNode
 from repro.engine.planner import Planner
 from repro.engine.session import EngineSession
+from repro.serve.estimator import as_plan_scorers
 from repro.sql.query import Query
 
 PlanScorer = Callable[[PlanNode], float]
@@ -69,14 +70,16 @@ class IndexAdvisor:
         min_improvement: float = 0.01,
     ) -> None:
         """``scorer`` maps a plan to a cost (lower is better); defaults to
-        the optimizer's estimated cost.  Pass ``dace.predict_plan`` to
-        advise with learned latency predictions instead."""
+        the optimizer's estimated cost.  Pass a fitted estimator (or its
+        bound ``predict_plan``) to advise with learned latency
+        predictions instead; estimators exposing ``predict_plans`` score
+        each what-if workload in one batched call."""
         if max_indexes < 1:
             raise ValueError("max_indexes must be >= 1")
         self.session = session
-        self.scorer = scorer if scorer is not None else (
-            lambda plan: plan.est_cost
-        )
+        if scorer is None:
+            scorer = lambda plan: plan.est_cost  # noqa: E731
+        self.scorer, self._scorer_batch = as_plan_scorers(scorer)
         self.max_indexes = max_indexes
         self.min_improvement = min_improvement
 
@@ -108,9 +111,10 @@ class IndexAdvisor:
     def _workload_score(
         self, planner: Planner, queries: Sequence[Query]
     ) -> float:
-        return float(sum(
-            self.scorer(planner.plan(query)) for query in queries
-        ))
+        plans = [planner.plan(query) for query in queries]
+        if self._scorer_batch is not None:
+            return float(np.sum(self._scorer_batch(plans)))
+        return float(sum(self.scorer(plan) for plan in plans))
 
     # ------------------------------------------------------------------ #
     def advise(self, queries: Sequence[Query]) -> AdvisorResult:

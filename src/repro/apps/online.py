@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
+from repro.serve.estimator import resolve_predictions
 from repro.workloads.dataset import PlanDataset
 
 
@@ -76,7 +77,7 @@ class OnlineWorkloadSimulator:
     def run(
         self,
         dataset: PlanDataset,
-        predicted_ms: Sequence[float],
+        predicted_ms,
         mean_gap_ms: Optional[float] = None,
         policy: str = "sjf",
         sla_ms: Optional[float] = None,
@@ -86,7 +87,9 @@ class OnlineWorkloadSimulator:
 
         Args:
             predicted_ms: the estimator's latency predictions (drives both
-                the queue priority and admission control).
+                the queue priority and admission control) — a per-query
+                array, or any Estimator (an object with ``predict``) to
+                run over the dataset here.
             mean_gap_ms: mean inter-arrival gap; defaults to 60% of the
                 mean true duration divided by workers (a loaded system).
             policy: "fifo" or "sjf" (priority = predicted latency).
@@ -94,7 +97,7 @@ class OnlineWorkloadSimulator:
         """
         if policy not in ("fifo", "sjf"):
             raise ValueError(f"unknown policy {policy!r}")
-        predicted = np.asarray(predicted_ms, dtype=np.float64)
+        predicted = resolve_predictions(predicted_ms, dataset)
         durations = dataset.latencies()
         if predicted.shape != durations.shape:
             raise ValueError("one prediction per query required")
@@ -168,16 +171,20 @@ class OnlineWorkloadSimulator:
     def compare(
         self,
         dataset: PlanDataset,
-        predicted_ms: Sequence[float],
+        predicted_ms,
         sla_ms: Optional[float] = None,
         mean_gap_ms: Optional[float] = None,
     ) -> List[OnlineResult]:
-        """FIFO vs predicted-SJF vs oracle-SJF under identical arrivals."""
+        """FIFO vs predicted-SJF vs oracle-SJF under identical arrivals.
+
+        ``predicted_ms`` may be an array or an Estimator (resolved once,
+        shared by every policy)."""
+        predicted = resolve_predictions(predicted_ms, dataset)
         oracle = dataset.latencies()
         results = [
-            self.run(dataset, predicted_ms, mean_gap_ms, "fifo",
+            self.run(dataset, predicted, mean_gap_ms, "fifo",
                      sla_ms, "FIFO"),
-            self.run(dataset, predicted_ms, mean_gap_ms, "sjf",
+            self.run(dataset, predicted, mean_gap_ms, "sjf",
                      sla_ms, "SJF (model)"),
             self.run(dataset, oracle, mean_gap_ms, "sjf",
                      sla_ms, "SJF (oracle)"),

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.engine.plan import PlanNode
 from repro.engine.session import EngineSession
+from repro.serve.estimator import as_plan_scorers
 from repro.sql.query import Query
 
 PlanScorer = Callable[[PlanNode], float]
@@ -58,25 +59,27 @@ class PlanSelector:
         scorer: Union[PlanScorer, "object"],
         candidates: int = 6,
     ) -> None:
-        """``scorer`` is either a callable plan -> predicted ms, or an
-        object with a ``predict_plan`` method (e.g. a fitted DACE)."""
+        """``scorer`` is either a callable plan -> predicted ms, or any
+        Estimator (an object with ``predict_plan``, e.g. a fitted DACE or
+        an :class:`~repro.serve.service.EstimatorService`).  Estimators
+        that also expose ``predict_plans`` get their candidates scored in
+        one batched call."""
         if candidates < 2:
             raise ValueError("plan selection needs at least 2 candidates")
         self.session = session
-        if callable(scorer):
-            self._score = scorer
-        elif hasattr(scorer, "predict_plan"):
-            self._score = scorer.predict_plan
-        else:
-            raise TypeError("scorer must be callable or have predict_plan")
+        self._score, self._score_batch = as_plan_scorers(scorer)
         self.candidates = candidates
+
+    def _scores(self, plans: Sequence[PlanNode]) -> np.ndarray:
+        if self._score_batch is not None:
+            return np.asarray(self._score_batch(plans), dtype=np.float64)
+        return np.array([self._score(plan) for plan in plans])
 
     # ------------------------------------------------------------------ #
     def select(self, query: Query) -> PlanNode:
         """The candidate plan with the lowest predicted latency."""
         plans = self.session.planner.candidate_plans(query, k=self.candidates)
-        scores = [self._score(plan) for plan in plans]
-        return plans[int(np.argmin(scores))]
+        return plans[int(np.argmin(self._scores(plans)))]
 
     def evaluate_workload(
         self, queries: Sequence[Query]
@@ -94,7 +97,7 @@ class PlanSelector:
                 executor.execute(plan, query).actual_time_ms
                 for plan in plans
             ]
-            scores = [self._score(plan) for plan in plans]
+            scores = self._scores(plans)
             native = latencies[0]          # candidate 0 = optimizer's pick
             chosen = int(np.argmin(scores))
             selected = latencies[chosen]

@@ -16,6 +16,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.serve.estimator import resolve_predictions
 from repro.workloads.dataset import PlanDataset
 
 
@@ -72,10 +73,12 @@ class WorkloadScheduler:
         return _simulate(durations, order, self.workers, "SJF (oracle)")
 
     def sjf_predicted(
-        self, dataset: PlanDataset, predicted_ms: Sequence[float],
+        self, dataset: PlanDataset, predicted_ms,
         policy_name: str = "SJF (model)",
     ) -> ScheduleResult:
-        predicted = np.asarray(predicted_ms, dtype=np.float64)
+        """``predicted_ms`` is a per-query latency array, or any Estimator
+        (an object with ``predict``) to run over the dataset here."""
+        predicted = resolve_predictions(predicted_ms, dataset)
         if predicted.shape != (len(dataset),):
             raise ValueError("one prediction per query required")
         durations = dataset.latencies()
@@ -83,12 +86,16 @@ class WorkloadScheduler:
         return _simulate(durations, order, self.workers, policy_name)
 
     def compare(
-        self, dataset: PlanDataset, predicted_ms: Sequence[float],
+        self, dataset: PlanDataset, predicted_ms,
         policy_name: str = "SJF (model)",
     ) -> List[ScheduleResult]:
-        """FIFO, model-SJF, oracle-SJF on the same workload."""
+        """FIFO, model-SJF, oracle-SJF on the same workload.
+
+        ``predicted_ms`` may be an array or an Estimator (resolved once,
+        shared by every policy)."""
+        predicted = resolve_predictions(predicted_ms, dataset)
         return [
             self.fifo(dataset),
-            self.sjf_predicted(dataset, predicted_ms, policy_name),
+            self.sjf_predicted(dataset, predicted, policy_name),
             self.sjf_oracle(dataset),
         ]

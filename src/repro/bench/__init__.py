@@ -24,6 +24,7 @@ from repro.bench.extra import (
     ablation_capacity,
     ensemble_uncertainty,
 )
+from repro.bench.serve import serve_throughput
 from repro.bench.experiments import (
     fig04_zeroshot_nodes,
     fig05_overall_accuracy,
@@ -66,4 +67,5 @@ __all__ = [
     "fig12_actual_cardinality",
     "tab1_workload3",
     "tab2_efficiency",
+    "serve_throughput",
 ]

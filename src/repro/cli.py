@@ -147,6 +147,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a workload through the serving runtime and report stats."""
+    import time
+
+    from repro.serve import MicroBatcher
+
+    dace = DACE.load(args.model)
+    dataset = _load_many(args.workload)
+    plans = [sample.plan for sample in dataset]
+    repeats = max(args.repeat, 1)
+    batcher = MicroBatcher(dace, max_batch=args.max_batch)
+    dace.service.reset_stats()
+
+    start = time.perf_counter()
+    predictions = []
+    for _ in range(repeats):
+        handles = [batcher.submit(plan) for plan in plans]
+        batcher.flush()
+        predictions = [handle.result() for handle in handles]
+    elapsed = time.perf_counter() - start
+
+    served = len(plans) * repeats
+    stats = dace.service.cache_stats
+    print(f"served {served} predictions over {len(plans)} plans "
+          f"(x{repeats}) in {elapsed * 1e3:.1f} ms "
+          f"({served / max(elapsed, 1e-9):.0f} plans/s)")
+    print(f"micro-batches: {batcher.batches_run} "
+          f"(max_batch={args.max_batch})")
+    print(f"cache: {stats}")
+    if predictions:
+        print(f"latency range: {min(predictions):.3f} .. "
+              f"{max(predictions):.3f} ms")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import repro.bench as bench
 
@@ -170,6 +205,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "apps": bench.apps_end_to_end,
         "taxonomy": bench.drift_taxonomy,
         "cardknowledge": bench.cardinality_knowledge,
+        "serving": bench.serve_throughput,
     }
     if args.experiment == "list":
         for name in runners:
@@ -245,6 +281,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default=None)
     report.set_defaults(func=_cmd_report)
 
+    serve = sub.add_parser(
+        "serve", help="replay a workload through the serving runtime"
+    )
+    serve.add_argument("--model", required=True)
+    serve.add_argument("--workload", nargs="+", required=True)
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batcher coalescing size")
+    serve.add_argument("--repeat", type=int, default=2,
+                       help="replay count (>1 exercises the cache)")
+    serve.set_defaults(func=_cmd_serve)
+
     bench = sub.add_parser(
         "bench", help="run one of the paper's experiments"
     )
@@ -253,7 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["list", "fig04", "fig05", "tab1", "fig06", "tab2", "fig07",
                  "fig08", "fig09", "fig10", "fig11", "fig12", "alpha",
                  "capacity", "ensemble", "apps", "taxonomy",
-                 "cardknowledge"],
+                 "cardknowledge", "serving"],
     )
     bench.add_argument("--scale", choices=["smoke", "default", "paper"],
                        default="smoke")

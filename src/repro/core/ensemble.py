@@ -15,7 +15,7 @@ optimizer estimate.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, List, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,13 +32,17 @@ class DACEEnsemble:
     def __init__(
         self,
         n_members: int = 5,
-        config: DACEConfig = DACEConfig(),
-        training: TrainingConfig = TrainingConfig(),
+        config: Optional[DACEConfig] = None,
+        training: Optional[TrainingConfig] = None,
         alpha: float = 0.5,
         seed: int = 0,
     ) -> None:
         if n_members < 2:
             raise ValueError("an ensemble needs at least 2 members")
+        # Per-instance defaults; def-time defaults would be shared mutable
+        # state across every ensemble ever constructed.
+        config = config if config is not None else DACEConfig()
+        training = training if training is not None else TrainingConfig()
         self.members: List[DACE] = [
             DACE(
                 config=config,
@@ -81,6 +85,13 @@ class DACEEnsemble:
     def predict_plan(self, plan: PlanNode) -> float:
         values = [member.predict_plan(plan) for member in self.members]
         return float(np.exp(np.mean(np.log(values))))
+
+    def predict_plans(self, plans: Sequence[PlanNode]) -> np.ndarray:
+        """Ensemble-mean latency (ms) per plan, batched per member."""
+        logs = np.stack([
+            np.log(member.predict_plans(plans)) for member in self.members
+        ])
+        return np.exp(logs.mean(axis=0))
 
     def num_parameters(self) -> int:
         return sum(m.num_parameters() for m in self.members)

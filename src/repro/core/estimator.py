@@ -20,34 +20,45 @@ from typing import Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.model import DACEConfig, DACEModel
-from repro.core.trainer import Trainer, TrainingConfig, catch_dataset
+from repro.core.trainer import Trainer, TrainingConfig
 from repro.engine.plan import PlanNode
-from repro.featurize.catcher import catch_plan
 from repro.featurize.encoder import PlanEncoder
 from repro.featurize.loss_weights import DEFAULT_ALPHA
-from repro.nn import no_grad
+from repro.serve.service import EstimatorService
 from repro.workloads.dataset import PlanDataset
 
 
 class DACE:
-    """Database-agnostic cost estimator (pre-trained estimator + encoder)."""
+    """Database-agnostic cost estimator (pre-trained estimator + encoder).
+
+    All prediction and embedding calls route through ``self.service``, an
+    :class:`~repro.serve.service.EstimatorService` — batched, cached,
+    graph-free inference.  Anything that changes the weights (``fit``,
+    ``fine_tune_lora``, loading) invalidates the service cache.
+    """
 
     def __init__(
         self,
-        config: DACEConfig = DACEConfig(),
-        training: TrainingConfig = TrainingConfig(),
+        config: Optional[DACEConfig] = None,
+        training: Optional[TrainingConfig] = None,
         alpha: float = DEFAULT_ALPHA,
         card_source: str = "estimated",
         seed: int = 0,
     ) -> None:
-        self.config = config
+        # Defaults are constructed per instance: a def-time default would
+        # be one shared (mutable) config across every DACE ever built.
+        self.config = config if config is not None else DACEConfig()
+        training = training if training is not None else TrainingConfig()
         self.training = replace(training, seed=seed)
         self.alpha = alpha
         self.seed = seed
         rng = np.random.default_rng(seed)
-        self.model = DACEModel(config, rng=rng)
+        self.model = DACEModel(self.config, rng=rng)
         self.encoder = PlanEncoder(alpha=alpha, card_source=card_source)
         self.trainer = Trainer(self.model, self.encoder, self.training)
+        self.service = EstimatorService(
+            self.model, self.encoder, batch_size=self.training.batch_size
+        )
 
     # ------------------------------------------------------------------ #
     # Pre-training & inference
@@ -62,26 +73,24 @@ class DACE:
         """Pre-train on one or many databases' labelled workloads."""
         self.model.disable_lora()
         self.trainer.fit(self._merge(datasets))
+        self.service.invalidate()
         return self
 
     def predict(self, dataset: PlanDataset) -> np.ndarray:
         """Predicted latency (ms) per plan; no database knowledge needed."""
-        return self.trainer.predict_ms(dataset)
+        return self.service.predict(dataset)
 
     def predict_plan(self, plan: PlanNode) -> float:
         """Predicted latency (ms) for a single plan."""
-        batch = self.encoder.encode_batch([catch_plan(plan)], with_labels=False)
-        with no_grad():
-            pred = self.model(batch)
-        return float(np.exp(pred.data[0, 0]))
+        return self.service.predict_plan(plan)
+
+    def predict_plans(self, plans: Sequence[PlanNode]) -> np.ndarray:
+        """Predicted latency (ms) per plan, batched."""
+        return self.service.predict_plans(plans)
 
     def predict_subplans(self, plan: PlanNode) -> np.ndarray:
         """Predicted latency (ms) for every sub-plan, in DFS order."""
-        caught = catch_plan(plan)
-        batch = self.encoder.encode_batch([caught], with_labels=False)
-        with no_grad():
-            pred = self.model(batch)
-        return np.exp(pred.data[0, : caught.num_nodes])
+        return self.service.predict_subplans(plan)
 
     # ------------------------------------------------------------------ #
     # LoRA fine-tuning (across-more, paper Sec. IV-D)
@@ -101,6 +110,12 @@ class DACE:
         )
         tuner = Trainer(self.model, self.encoder, tuning)
         tuner.fit(self._merge(datasets))
+        # Keep the adaptation visible in the estimator's training history
+        # rather than discarding the throwaway trainer's record.
+        self.trainer.history.extend(
+            {**epoch, "phase": "fine_tune_lora"} for epoch in tuner.history
+        )
+        self.service.invalidate()
         return self
 
     # ------------------------------------------------------------------ #
@@ -108,21 +123,13 @@ class DACE:
     # ------------------------------------------------------------------ #
     def embed_plan(self, plan: PlanNode) -> np.ndarray:
         """64-dim context vector ``w_E`` for one plan."""
-        batch = self.encoder.encode_batch([catch_plan(plan)], with_labels=False)
-        with no_grad():
-            return self.model.embed(batch)[0]
+        return self.service.embed_plan(plan)
 
     def embed_dataset(self, dataset: PlanDataset) -> np.ndarray:
         """Context vectors for every plan: shape (len(dataset), 64)."""
-        plans = catch_dataset(dataset)
-        out = np.empty((len(plans), self.config.hidden2))
-        with no_grad():
-            step = self.training.batch_size
-            for start in range(0, len(plans), step):
-                chunk = plans[start:start + step]
-                batch = self.encoder.encode_batch(chunk, with_labels=False)
-                out[start:start + len(chunk)] = self.model.embed(batch)
-        return out
+        if len(dataset) == 0:
+            return np.empty((0, self.config.hidden2))
+        return self.service.embed_dataset(dataset)
 
     @property
     def embedding_dim(self) -> int:

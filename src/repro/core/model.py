@@ -27,7 +27,13 @@ from typing import Optional
 import numpy as np
 
 from repro.featurize.encoder import ENCODING_DIM, EncodedBatch
-from repro.nn import LoRALinear, Module, Tensor, masked_self_attention
+from repro.nn import (
+    LoRALinear,
+    Module,
+    Tensor,
+    masked_self_attention,
+    masked_self_attention_infer,
+)
 from repro.nn.layers import Linear, ReLU
 
 
@@ -88,6 +94,32 @@ class DACEModel(Module):
         h2 = self.act(self.mlp2(h1))
         out = self.mlp3(h2)
         return out.reshape(out.shape[0], out.shape[1])
+
+    # ------------------------------------------------------------------ #
+    # Inference-only (no-graph) forward — the serving hot path
+    # ------------------------------------------------------------------ #
+    def _hidden_infer(self, batch: EncodedBatch) -> np.ndarray:
+        x = batch.features
+        q = self.w_q.infer(x)
+        k = self.w_k.infer(x)
+        v = self.w_v.infer(x)
+        return masked_self_attention_infer(q, k, v, self._attention_mask(batch))
+
+    def infer(self, batch: EncodedBatch) -> np.ndarray:
+        """Pure-numpy forward: same output as ``forward`` (bit-for-bit),
+        no Tensor graph nodes allocated.  Shape (B, n)."""
+        hidden = self._hidden_infer(batch)
+        h1 = self.act.infer(self.mlp1.infer(hidden))
+        h2 = self.act.infer(self.mlp2.infer(h1))
+        out = self.mlp3.infer(h2)
+        return out.reshape(out.shape[0], out.shape[1])
+
+    def embed_infer(self, batch: EncodedBatch) -> np.ndarray:
+        """Graph-free :meth:`embed`: root ``w_E`` vectors, shape (B, hidden2)."""
+        hidden = self._hidden_infer(batch)
+        h1 = self.act.infer(self.mlp1.infer(hidden))
+        h2 = self.act.infer(self.mlp2.infer(h1))
+        return h2[:, 0, :].copy()
 
     # ------------------------------------------------------------------ #
     def embed(self, batch: EncodedBatch) -> np.ndarray:

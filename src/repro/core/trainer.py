@@ -61,11 +61,13 @@ class Trainer:
         self,
         model: DACEModel,
         encoder: PlanEncoder,
-        config: TrainingConfig = TrainingConfig(),
+        config: Optional[TrainingConfig] = None,
     ) -> None:
         self.model = model
         self.encoder = encoder
-        self.config = config
+        # Per-instance default: a def-time TrainingConfig() would be one
+        # shared mutable object across every Trainer ever constructed.
+        self.config = config if config is not None else TrainingConfig()
         self.history: List[dict] = []
 
     def _loss(self, pred, labels_log, weights):
@@ -179,16 +181,19 @@ class Trainer:
 
     # ------------------------------------------------------------------ #
     def predict_log(self, dataset: PlanDataset) -> np.ndarray:
-        """Predicted root log-latency per plan."""
-        plans = catch_dataset(dataset)
-        out = np.empty(len(plans))
-        with no_grad():
-            for start in range(0, len(plans), self.config.batch_size):
-                chunk = plans[start:start + self.config.batch_size]
-                batch = self.encoder.encode_batch(chunk, with_labels=False)
-                pred = self.model(batch)
-                out[start:start + len(chunk)] = pred.data[:, 0]
-        return out
+        """Predicted root log-latency per plan.
+
+        Runs on a throwaway (uncached — weights move between epochs)
+        :class:`~repro.serve.service.EstimatorService`, i.e. the batched
+        no-graph inference path.
+        """
+        from repro.serve.service import EstimatorService
+
+        service = EstimatorService(
+            self.model, self.encoder,
+            batch_size=self.config.batch_size, cache_size=0,
+        )
+        return service.predict_log(dataset)
 
     def predict_ms(self, dataset: PlanDataset) -> np.ndarray:
         return np.exp(self.predict_log(dataset))

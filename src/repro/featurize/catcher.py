@@ -14,7 +14,8 @@ Walks a query-plan tree by pre-order DFS and extracts, per node:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
@@ -35,10 +36,34 @@ class CaughtPlan:
     parents: np.ndarray              # (n,) int, parent DFS index (-1 root)
     actual_times: Optional[np.ndarray]  # (n,) float ms, None if not executed
     actual_rows: Optional[np.ndarray]   # (n,) float, None if not executed
+    _fingerprint: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_nodes(self) -> int:
         return len(self.nodes)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of everything the DACE encoding consumes.
+
+        Covers node types, tree structure (parent links), and the DBMS
+        estimates — plus the actual cardinalities when present, so the
+        ``card_source="actual"`` oracle variant never aliases.  Two plans
+        with the same fingerprint produce the same encoded features, which
+        makes this the key for serving-time encoding/prediction caches.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self.node_type_ids.tobytes())
+            digest.update(self.parents.tobytes())
+            digest.update(self.est_rows.tobytes())
+            digest.update(self.est_costs.tobytes())
+            if self.actual_rows is not None:
+                digest.update(b"A")
+                digest.update(self.actual_rows.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def distance_matrix(self) -> np.ndarray:
         """Tree path length between every node pair (QueryFormer's bias)."""

@@ -19,7 +19,7 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
-from repro.nn.attention import masked_self_attention
+from repro.nn.attention import masked_self_attention, masked_self_attention_infer
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.schedulers import CosineLR, LRScheduler, StepLR, clip_grad_norm
 from repro.nn.losses import (
@@ -47,6 +47,7 @@ __all__ = [
     "LayerNorm",
     "Embedding",
     "masked_self_attention",
+    "masked_self_attention_infer",
     "Optimizer",
     "SGD",
     "Adam",

@@ -34,20 +34,36 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
 
 class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # `x * (x > 0)`, not np.maximum: bit-identical to Tensor.relu.
+        return x * (x > 0)
 
 
 class Tanh(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
 
 class Sigmoid(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.sigmoid()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
 
 
 class Dropout(Module):
@@ -67,6 +83,9 @@ class Dropout(Module):
         mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
         return x * Tensor(mask)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return x
+
 
 class LayerNorm(Module):
     """Layer normalization over the last axis."""
@@ -83,6 +102,16 @@ class LayerNorm(Module):
         variance = (centered * centered).mean(axis=-1, keepdims=True)
         normalized = centered * (variance + self.eps) ** -0.5
         return normalized * self.gamma + self.beta
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # Bit-identity with forward: Tensor.mean is sum * (1/n), whose
+        # rounding differs from np.mean at the last ulp.
+        scale = 1.0 / x.shape[-1]
+        mean = x.sum(axis=-1, keepdims=True) * scale
+        centered = x - mean
+        variance = (centered * centered).sum(axis=-1, keepdims=True) * scale
+        normalized = centered * (variance + self.eps) ** -0.5
+        return normalized * self.gamma.data + self.beta.data
 
 
 class Embedding(Module):
@@ -108,6 +137,14 @@ class Embedding(Module):
             )
         return self.weight[ids]
 
+    def infer(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.min() < 0 or ids.max() >= self.num_embeddings:
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings})"
+            )
+        return self.weight.data[ids]
+
 
 class Sequential(Module):
     """Chain of modules applied in order."""
@@ -128,6 +165,11 @@ class Sequential(Module):
     def forward(self, x: Tensor) -> Tensor:
         for module in self.children_list:
             x = module(x)
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        for module in self.children_list:
+            x = module.infer(x)
         return x
 
 

@@ -1,0 +1,32 @@
+"""The serving runtime: batched, cached, graph-free inference.
+
+Everything downstream of a trained model goes through this package:
+
+- :class:`~repro.serve.estimator.Estimator` — the protocol every
+  prediction consumer (apps, CLI, benchmarks) depends on;
+- :class:`~repro.serve.service.EstimatorService` — wraps a model +
+  encoder behind the protocol with an LRU fingerprint cache and
+  batch-sorted, no-graph inference;
+- :class:`~repro.serve.batching.MicroBatcher` — coalesces single-plan
+  call sites into batched inference;
+- :class:`~repro.serve.registry.ModelRegistry` — hot-swaps
+  LoRA-fine-tuned adapter sets keyed by deployment tag.
+"""
+
+from repro.serve.batching import MicroBatcher, PendingPrediction
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.estimator import Estimator, as_plan_scorers, resolve_predictions
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import EstimatorService
+
+__all__ = [
+    "Estimator",
+    "EstimatorService",
+    "MicroBatcher",
+    "PendingPrediction",
+    "ModelRegistry",
+    "LRUCache",
+    "CacheStats",
+    "as_plan_scorers",
+    "resolve_predictions",
+]

@@ -1,0 +1,106 @@
+"""Micro-batching facade: coalesce single-plan calls into batched inference.
+
+Callers that price plans one at a time (plan steering loops, what-if
+advisors, per-query admission control) leave batch efficiency on the
+table.  :class:`MicroBatcher` restores it without restructuring the
+caller: ``submit`` enqueues a plan and returns a
+:class:`PendingPrediction`; nothing runs until the batch fills
+(``max_batch``), ``flush`` is called, or a pending result is read — at
+which point *all* queued plans go through one batched ``predict_plans``
+call.
+
+The degenerate pattern ``submit(plan).result()`` still works (it just
+flushes a batch of one), so a MicroBatcher can be dropped in front of any
+Estimator unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.plan import PlanNode
+
+
+class PendingPrediction:
+    """Handle for a submitted plan; reading it forces a flush."""
+
+    __slots__ = ("_batcher", "_value")
+
+    def __init__(self, batcher: "MicroBatcher") -> None:
+        self._batcher = batcher
+        self._value: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self._value is not None
+
+    def result(self) -> float:
+        """Predicted latency (ms), flushing the queue if still pending."""
+        if self._value is None:
+            self._batcher.flush()
+        assert self._value is not None
+        return self._value
+
+    def _resolve(self, value: float) -> None:
+        self._value = value
+
+
+class MicroBatcher:
+    """Coalesces ``predict_plan`` traffic into ``predict_plans`` batches.
+
+    Speaks the Estimator protocol itself, so it can stand wherever an
+    estimator is expected while transparently batching whatever single-plan
+    traffic reaches it.
+    """
+
+    def __init__(self, estimator, max_batch: int = 64) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.estimator = estimator
+        self.max_batch = max_batch
+        self._plans: List[PlanNode] = []
+        self._handles: List[PendingPrediction] = []
+        self.batches_run = 0
+        self.plans_batched = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        return len(self._plans)
+
+    def submit(self, plan: PlanNode) -> PendingPrediction:
+        """Queue one plan; auto-flushes when the batch fills."""
+        handle = PendingPrediction(self)
+        self._plans.append(plan)
+        self._handles.append(handle)
+        if len(self._plans) >= self.max_batch:
+            self.flush()
+        return handle
+
+    def flush(self) -> None:
+        """Run one batched inference over everything queued."""
+        if not self._plans:
+            return
+        plans, handles = self._plans, self._handles
+        self._plans, self._handles = [], []
+        values = self.estimator.predict_plans(plans)
+        for handle, value in zip(handles, values):
+            handle._resolve(float(value))
+        self.batches_run += 1
+        self.plans_batched += len(plans)
+
+    # ------------------------------------------------------------------ #
+    # Estimator protocol
+    # ------------------------------------------------------------------ #
+    def predict_plan(self, plan: PlanNode) -> float:
+        return self.submit(plan).result()
+
+    def predict_plans(self, plans: Sequence[PlanNode]) -> np.ndarray:
+        self.flush()  # keep submission order for anything already queued
+        return np.asarray(self.estimator.predict_plans(plans), dtype=np.float64)
+
+    def predict(self, dataset) -> np.ndarray:
+        self.flush()
+        return np.asarray(self.estimator.predict(dataset), dtype=np.float64)

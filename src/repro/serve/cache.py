@@ -1,0 +1,85 @@
+"""LRU cache with hit/miss accounting for the serving runtime.
+
+Keys are plan fingerprints (see
+:meth:`repro.featurize.catcher.CaughtPlan.fingerprint`), values are
+whatever the service wants to reuse — per-node log-latency arrays,
+embeddings.  Capacity 0 disables storage entirely (every lookup is a
+miss) without callers needing a special case.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated since the last ``reset``."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    def __str__(self) -> str:
+        return (f"hits={self.hits} misses={self.misses} "
+                f"evictions={self.evictions} hit_rate={self.hit_rate:.1%}")
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency and counts a hit or miss; ``put`` inserts or
+    refreshes and evicts the coldest entry past ``capacity``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, or None — counting the hit/miss either way."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see ``stats.reset``)."""
+        self._entries.clear()

@@ -1,0 +1,188 @@
+"""EstimatorService: the batched, cached, graph-free prediction path.
+
+Wraps any model + encoder pair behind the :class:`Estimator` protocol:
+
+- **no-graph forward** — inference goes through ``model.infer`` (pure
+  numpy, no autograd Tensor nodes) whenever the model provides it,
+  falling back to a ``no_grad`` autograd forward otherwise;
+- **encoding/prediction cache** — per-plan node-level predictions and
+  embeddings are cached in an LRU keyed by
+  :meth:`~repro.featurize.catcher.CaughtPlan.fingerprint`, with hit/miss
+  counters exposed as ``service.cache_stats``;
+- **batching** — cache misses are sorted by node count (small padding)
+  and run through the model in ``batch_size`` chunks, whatever the
+  granularity of the incoming call.
+
+The cache stores *log-space node vectors*, so one warm entry serves
+``predict_plan``, ``predict_subplans``, and dataset-level calls alike.
+Owners must call :meth:`invalidate` whenever model weights change
+(training, LoRA fine-tuning, adapter hot-swap).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.plan import PlanNode
+from repro.featurize.catcher import CaughtPlan, catch_plan
+from repro.nn import no_grad
+from repro.serve.cache import CacheStats, LRUCache
+
+DEFAULT_CACHE_SIZE = 4096
+
+
+class EstimatorService:
+    """Serves latency predictions for plans from one model + encoder."""
+
+    def __init__(
+        self,
+        model,
+        encoder,
+        batch_size: int = 64,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.model = model
+        self.encoder = encoder
+        self.batch_size = batch_size
+        # Workload-dependent extra features read predicate literals the
+        # fingerprint does not cover, so caching would alias: disable it.
+        if getattr(encoder, "extra_features", False):
+            cache_size = 0
+        self._cache = LRUCache(cache_size)
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def invalidate(self) -> None:
+        """Drop cached predictions — required after any weight change."""
+        self._cache.clear()
+
+    def reset_stats(self) -> None:
+        self._cache.stats.reset()
+
+    # ------------------------------------------------------------------ #
+    # Model access
+    # ------------------------------------------------------------------ #
+    def _forward(self, batch) -> np.ndarray:
+        infer = getattr(self.model, "infer", None)
+        if infer is not None:
+            return infer(batch)
+        with no_grad():
+            return self.model(batch).data
+
+    def _embed_forward(self, batch) -> np.ndarray:
+        embed = getattr(self.model, "embed_infer", None)
+        if embed is not None:
+            return embed(batch)
+        with no_grad():
+            return self.model.embed(batch)
+
+    # ------------------------------------------------------------------ #
+    # Core cached/batched inference over caught plans
+    # ------------------------------------------------------------------ #
+    def _run_batched(
+        self,
+        caught: Sequence[CaughtPlan],
+        kind: str,
+        forward,
+        extract,
+    ) -> List[np.ndarray]:
+        """One per-plan array per input, resolving via cache then batches.
+
+        ``forward`` maps an encoded batch to a (B, ...) array; ``extract``
+        slices row ``row`` of that output down to plan ``plan``'s own
+        entry (trimming padding).
+        """
+        results: List[Optional[np.ndarray]] = [None] * len(caught)
+        misses: List[int] = []
+        for index, plan in enumerate(caught):
+            entry = self._cache.get((kind, plan.fingerprint()))
+            if entry is not None:
+                results[index] = entry
+            else:
+                misses.append(index)
+        if misses:
+            # Sort by node count so padding inside each chunk stays small.
+            misses.sort(key=lambda index: caught[index].num_nodes)
+            for start in range(0, len(misses), self.batch_size):
+                chunk = misses[start:start + self.batch_size]
+                batch = self.encoder.encode_batch(
+                    [caught[index] for index in chunk], with_labels=False
+                )
+                output = forward(batch)
+                for row, index in enumerate(chunk):
+                    value = extract(output, row, caught[index])
+                    results[index] = value
+                    self._cache.put((kind, caught[index].fingerprint()), value)
+        return results  # type: ignore[return-value]
+
+    def _node_logs(self, caught: Sequence[CaughtPlan]) -> List[np.ndarray]:
+        """Per-plan log-latency vectors (one entry per node, DFS order)."""
+        return self._run_batched(
+            caught,
+            "pred",
+            self._forward,
+            lambda output, row, plan: output[row, :plan.num_nodes].copy(),
+        )
+
+    def _embeddings(self, caught: Sequence[CaughtPlan]) -> List[np.ndarray]:
+        return self._run_batched(
+            caught,
+            "embed",
+            self._embed_forward,
+            lambda output, row, plan: output[row].copy(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Estimator protocol (plans)
+    # ------------------------------------------------------------------ #
+    def predict_plan(self, plan: PlanNode) -> float:
+        """Predicted latency (ms) for a single plan."""
+        logs = self._node_logs([catch_plan(plan)])
+        return float(np.exp(logs[0][0]))
+
+    def predict_plans(self, plans: Sequence[PlanNode]) -> np.ndarray:
+        """Predicted latency (ms) per plan, batched and cached."""
+        logs = self._node_logs([catch_plan(plan) for plan in plans])
+        return np.exp(np.array([entry[0] for entry in logs]))
+
+    def predict_subplans(self, plan: PlanNode) -> np.ndarray:
+        """Predicted latency (ms) for every sub-plan, in DFS order."""
+        logs = self._node_logs([catch_plan(plan)])
+        return np.exp(logs[0])
+
+    # ------------------------------------------------------------------ #
+    # Estimator protocol (datasets)
+    # ------------------------------------------------------------------ #
+    def predict_log(self, dataset) -> np.ndarray:
+        """Predicted root log-latency per plan of a PlanDataset."""
+        logs = self._node_logs([catch_plan(s.plan) for s in dataset])
+        return np.array([entry[0] for entry in logs])
+
+    def predict(self, dataset) -> np.ndarray:
+        """Predicted latency (ms) per plan of a PlanDataset."""
+        return np.exp(self.predict_log(dataset))
+
+    # ------------------------------------------------------------------ #
+    # Embeddings (paper eq. 9)
+    # ------------------------------------------------------------------ #
+    def embed_plan(self, plan: PlanNode) -> np.ndarray:
+        """Pre-trained-encoder context vector ``w_E`` for one plan."""
+        return self._embeddings([catch_plan(plan)])[0]
+
+    def embed_dataset(self, dataset) -> np.ndarray:
+        """Context vectors for every plan: shape (len(dataset), hidden2)."""
+        embeddings = self._embeddings([catch_plan(s.plan) for s in dataset])
+        return np.stack(embeddings) if embeddings else np.empty((0, 0))

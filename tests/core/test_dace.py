@@ -188,9 +188,55 @@ class TestPersistence:
         dace.save(path)
         loaded = DACE.load(path)
         assert loaded.model.lora_enabled
-        np.testing.assert_allclose(
+        # Identical weights through the identical inference path must give
+        # bit-for-bit identical predictions, not merely close ones.
+        np.testing.assert_array_equal(
             dace.predict(train_datasets[0]), loaded.predict(train_datasets[0])
         )
+        for name, value in dace.model.state_dict().items():
+            np.testing.assert_array_equal(
+                value, loaded.model.state_dict()[name], err_msg=name
+            )
+
+
+class TestHistoryAndDefaults:
+    def test_fine_tune_history_preserved(self, train_datasets,
+                                         quick_training):
+        dace = DACE(training=quick_training, seed=4).fit(train_datasets[0])
+        pretrain_epochs = len(dace.trainer.history)
+        assert pretrain_epochs > 0
+        dace.fine_tune_lora(train_datasets[0], epochs=3)
+        tuning = dace.trainer.history[pretrain_epochs:]
+        assert tuning, "fine-tuning epochs missing from history"
+        assert all(e.get("phase") == "fine_tune_lora" for e in tuning)
+        assert all("phase" not in e
+                   for e in dace.trainer.history[:pretrain_epochs])
+
+    def test_training_config_not_shared_across_instances(self):
+        first, second = DACE(seed=0), DACE(seed=1)
+        assert first.training is not second.training
+        assert first.config is not second.config
+
+    def test_trainer_default_config_not_shared(self):
+        from repro.featurize import PlanEncoder
+
+        model = DACEModel()
+        encoder = PlanEncoder()
+        one = Trainer(model, encoder)
+        two = Trainer(model, encoder)
+        assert one.config is not two.config
+        one.config.epochs = 1
+        assert two.config.epochs != 1
+
+    def test_ensemble_default_configs_not_shared(self):
+        from repro.core.ensemble import DACEEnsemble
+
+        first = DACEEnsemble(n_members=2)
+        second = DACEEnsemble(n_members=2)
+        first.members[0].training.epochs = 1
+        assert second.members[0].training.epochs != 1
+        assert (first.members[0].training
+                is not first.members[1].training)
 
 
 class TestCardSource:

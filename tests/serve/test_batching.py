@@ -1,0 +1,91 @@
+"""MicroBatcher: coalescing semantics and Estimator pass-through."""
+
+import numpy as np
+import pytest
+
+from repro.core import DACEModel
+from repro.featurize import PlanEncoder, catch_plan
+from repro.serve import Estimator, EstimatorService, MicroBatcher
+
+
+@pytest.fixture(scope="module")
+def service_and_plans(train_datasets):
+    plans = [s.plan for s in train_datasets[0]]
+    encoder = PlanEncoder().fit([catch_plan(p) for p in plans])
+    model = DACEModel(rng=np.random.default_rng(31))
+    return EstimatorService(model, encoder, cache_size=0), plans
+
+
+class TestCoalescing:
+    def test_submit_defers_until_flush(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(service, max_batch=64)
+        handles = [batcher.submit(plan) for plan in plans[:10]]
+        assert batcher.pending == 10
+        assert not any(handle.done for handle in handles)
+        assert batcher.batches_run == 0
+        batcher.flush()
+        assert batcher.pending == 0
+        assert all(handle.done for handle in handles)
+        assert batcher.batches_run == 1
+        assert batcher.plans_batched == 10
+
+    def test_auto_flush_at_max_batch(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(service, max_batch=4)
+        handles = [batcher.submit(plan) for plan in plans[:9]]
+        assert batcher.batches_run == 2      # two full batches of 4
+        assert batcher.pending == 1
+        assert all(handle.done for handle in handles[:8])
+        assert not handles[8].done
+
+    def test_result_forces_flush(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(service, max_batch=64)
+        handle = batcher.submit(plans[0])
+        other = batcher.submit(plans[1])
+        value = handle.result()
+        assert other.done                    # whole queue ran together
+        assert value == pytest.approx(service.predict_plan(plans[0]))
+
+    def test_batched_values_match_unbatched(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(service, max_batch=8)
+        handles = [batcher.submit(plan) for plan in plans[:12]]
+        batcher.flush()
+        values = np.array([handle.result() for handle in handles])
+        np.testing.assert_allclose(
+            values, service.predict_plans(plans[:12]), rtol=1e-12
+        )
+
+    def test_flush_empty_is_noop(self, service_and_plans):
+        service, _ = service_and_plans
+        batcher = MicroBatcher(service)
+        batcher.flush()
+        assert batcher.batches_run == 0
+
+
+class TestEstimatorFacade:
+    def test_satisfies_protocol(self, service_and_plans):
+        service, _ = service_and_plans
+        assert isinstance(MicroBatcher(service), Estimator)
+
+    def test_predict_plan_passthrough(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(service)
+        assert batcher.predict_plan(plans[0]) == pytest.approx(
+            service.predict_plan(plans[0])
+        )
+
+    def test_predict_plans_flushes_queue_first(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(service, max_batch=64)
+        queued = batcher.submit(plans[0])
+        out = batcher.predict_plans(plans[1:5])
+        assert queued.done
+        assert out.shape == (4,)
+
+    def test_max_batch_validated(self, service_and_plans):
+        service, _ = service_and_plans
+        with pytest.raises(ValueError):
+            MicroBatcher(service, max_batch=0)

@@ -1,0 +1,89 @@
+"""LRU cache behaviour, counters, and plan fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.featurize import catch_plan
+from repro.serve import LRUCache
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a": "b" is now least recent
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_clear_and_reset(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        cache.stats.reset()
+        assert cache.stats.lookups == 0
+
+    def test_overwrite_same_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+        assert cache.stats.evictions == 0
+
+
+class TestFingerprint:
+    def test_stable_across_catches(self, train_datasets):
+        plan = train_datasets[0][0].plan
+        assert catch_plan(plan).fingerprint() == catch_plan(plan).fingerprint()
+
+    def test_cached_on_instance(self, train_datasets):
+        caught = catch_plan(train_datasets[0][0].plan)
+        assert caught.fingerprint() is caught.fingerprint()
+
+    def test_distinct_plans_differ(self, train_datasets):
+        prints = {
+            catch_plan(s.plan).fingerprint() for s in train_datasets[0][:20]
+        }
+        assert len(prints) > 1
+
+    def test_cardinalities_matter(self, train_datasets):
+        caught = catch_plan(train_datasets[0][0].plan)
+        before = caught.fingerprint()
+        bumped = catch_plan(train_datasets[0][0].plan)
+        bumped.est_rows = bumped.est_rows.copy()
+        bumped.est_rows[0] += 1.0
+        assert bumped.fingerprint() != before
+
+    def test_actual_rows_matter(self, train_datasets):
+        caught = catch_plan(train_datasets[0][0].plan)
+        stripped = catch_plan(train_datasets[0][0].plan)
+        if stripped.actual_rows is None:
+            pytest.skip("workload plans carry no actual rows")
+        stripped.actual_rows = None
+        assert stripped.fingerprint() != caught.fingerprint()

@@ -1,0 +1,81 @@
+"""ModelRegistry: LoRA adapter hot-swapping over one shared base model."""
+
+import numpy as np
+import pytest
+
+from repro.core import DACE, TrainingConfig
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def fitted(train_datasets):
+    dace = DACE(
+        training=TrainingConfig(epochs=3, batch_size=32), seed=9
+    )
+    dace.fit(train_datasets[0])
+    return dace
+
+
+@pytest.fixture()
+def registry(fitted):
+    registry = ModelRegistry(fitted)
+    yield registry
+    registry.activate(ModelRegistry.BASE_TAG)
+
+
+class TestRegistry:
+    def test_base_tag_registered_at_init(self, registry):
+        assert registry.tags() == ["base"]
+        assert registry.active_tag == "base"
+        assert "base" in registry
+
+    def test_fine_tune_registers_and_activates(self, registry, fitted,
+                                               train_datasets):
+        base_preds = fitted.predict(train_datasets[1])
+        registry.fine_tune("m2", train_datasets[1], epochs=2)
+        assert registry.active_tag == "m2"
+        assert set(registry.tags()) == {"base", "m2"}
+        tuned_preds = fitted.predict(train_datasets[1])
+        assert not np.array_equal(base_preds, tuned_preds)
+        # Swapping back restores the base predictions bit-for-bit.
+        registry.activate("base")
+        np.testing.assert_array_equal(
+            fitted.predict(train_datasets[1]), base_preds
+        )
+        # And forward again.
+        registry.activate("m2")
+        np.testing.assert_array_equal(
+            fitted.predict(train_datasets[1]), tuned_preds
+        )
+
+    def test_activate_invalidates_cache(self, registry, fitted,
+                                        train_datasets):
+        fitted.predict(train_datasets[0])
+        assert fitted.service.cache_size > 0
+        registry.activate("base")
+        assert fitted.service.cache_size == 0
+
+    def test_fine_tune_base_tag_rejected(self, registry, train_datasets):
+        with pytest.raises(ValueError):
+            registry.fine_tune("base", train_datasets[0])
+
+    def test_unknown_tag_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.activate("nope")
+        with pytest.raises(KeyError):
+            registry.adapter_state("nope")
+
+    def test_register_validates_keys(self, registry):
+        with pytest.raises(KeyError):
+            registry.register("external", {"bogus": np.zeros(2)})
+
+    def test_register_roundtrip(self, registry, fitted, train_datasets):
+        registry.fine_tune("m2", train_datasets[1], epochs=2)
+        exported = registry.adapter_state("m2")
+        registry.register("copy-of-m2", exported)
+        registry.activate("m2")
+        tuned = fitted.predict(train_datasets[1])
+        registry.activate("copy-of-m2")
+        np.testing.assert_array_equal(
+            fitted.predict(train_datasets[1]), tuned
+        )

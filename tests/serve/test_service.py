@@ -1,0 +1,163 @@
+"""EstimatorService: correctness vs the direct forward, cache semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import DACEModel
+from repro.featurize import PlanEncoder, catch_plan
+from repro.nn import no_grad
+from repro.serve import Estimator, EstimatorService
+
+
+@pytest.fixture(scope="module")
+def setup(train_datasets):
+    dataset = train_datasets[0]
+    plans = [s.plan for s in dataset]
+    caught = [catch_plan(p) for p in plans]
+    encoder = PlanEncoder().fit(caught)
+    model = DACEModel(rng=np.random.default_rng(21))
+    return model, encoder, dataset, plans
+
+
+def _reference_logs(model, encoder, plan) -> np.ndarray:
+    """Per-node log predictions via the naive single-plan autograd path."""
+    caught = catch_plan(plan)
+    batch = encoder.encode_batch([caught], with_labels=False)
+    with no_grad():
+        out = model(batch)
+    return out.data[0, :caught.num_nodes]
+
+
+class TestCorrectness:
+    def test_satisfies_protocol(self, setup):
+        model, encoder, _, _ = setup
+        assert isinstance(EstimatorService(model, encoder), Estimator)
+
+    def test_predict_plan_matches_reference(self, setup):
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder, batch_size=16)
+        for plan in plans[:5]:
+            expected = float(np.exp(_reference_logs(model, encoder, plan)[0]))
+            assert service.predict_plan(plan) == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_predict_plans_matches_loop(self, setup):
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder, batch_size=7)
+        batched = service.predict_plans(plans[:20])
+        singles = np.array([
+            np.exp(_reference_logs(model, encoder, plan)[0])
+            for plan in plans[:20]
+        ])
+        np.testing.assert_allclose(batched, singles, rtol=1e-9)
+
+    def test_predict_subplans(self, setup):
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder)
+        plan = plans[0]
+        subplans = service.predict_subplans(plan)
+        expected = np.exp(_reference_logs(model, encoder, plan))
+        assert subplans.shape == expected.shape
+        np.testing.assert_allclose(subplans, expected, rtol=1e-9)
+
+    def test_dataset_predictions(self, setup):
+        model, encoder, dataset, plans = setup
+        service = EstimatorService(model, encoder)
+        predictions = service.predict(dataset)
+        assert predictions.shape == (len(dataset),)
+        np.testing.assert_allclose(
+            predictions, service.predict_plans(plans), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            np.log(predictions), service.predict_log(dataset), rtol=1e-12
+        )
+
+    def test_embeddings(self, setup):
+        model, encoder, dataset, plans = setup
+        service = EstimatorService(model, encoder)
+        one = service.embed_plan(plans[0])
+        assert one.shape == (model.config.hidden2,)
+        all_of_them = service.embed_dataset(dataset)
+        assert all_of_them.shape == (len(dataset), model.config.hidden2)
+        np.testing.assert_allclose(all_of_them[0], one, rtol=1e-9)
+
+
+class TestCacheSemantics:
+    def test_second_pass_all_hits(self, setup):
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder)
+        cold = service.predict_plans(plans)
+        assert service.cache_stats.hits == 0
+        warm = service.predict_plans(plans)
+        assert service.cache_stats.hits == len(plans)
+        assert service.cache_size == len(set(
+            catch_plan(p).fingerprint() for p in plans
+        ))
+        np.testing.assert_array_equal(cold, warm)
+
+    def test_cached_values_identical_across_batsizes(self, setup):
+        """A cache hit must return exactly what a fresh batch would."""
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder, batch_size=3)
+        first = service.predict_plans(plans[:10])
+        again = np.array([service.predict_plan(p) for p in plans[:10]])
+        np.testing.assert_array_equal(first, again)
+
+    def test_invalidate_forces_misses(self, setup):
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder)
+        service.predict_plans(plans[:4])
+        service.invalidate()
+        assert service.cache_size == 0
+        service.reset_stats()
+        service.predict_plans(plans[:4])
+        assert service.cache_stats.hits == 0
+        assert service.cache_stats.misses == 4
+
+    def test_cache_disabled(self, setup):
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder, cache_size=0)
+        service.predict_plans(plans[:4])
+        service.predict_plans(plans[:4])
+        assert service.cache_size == 0
+        assert service.cache_stats.hits == 0
+
+    def test_extra_features_encoder_disables_cache(self, setup):
+        """Predicate-literal features are not fingerprinted, so caching
+        them would alias distinct plans: the service must refuse."""
+        from repro.core import DACEConfig
+
+        _, _, _, plans = setup
+        caught = [catch_plan(p) for p in plans]
+        rich = PlanEncoder(extra_features=True).fit(caught)
+        wide = DACEModel(
+            DACEConfig(input_dim=rich.dim),
+            rng=np.random.default_rng(22),
+        )
+        service = EstimatorService(wide, rich)
+        service.predict_plans(plans[:4])
+        service.predict_plans(plans[:4])
+        assert service.cache_size == 0
+        assert service.cache_stats.hits == 0
+
+    def test_batch_size_validated(self, setup):
+        model, encoder, _, _ = setup
+        with pytest.raises(ValueError):
+            EstimatorService(model, encoder, batch_size=0)
+
+
+class TestWeightChangeInvalidation:
+    def test_dace_finetune_invalidates(self, train_datasets):
+        from repro.core import DACE, TrainingConfig
+
+        dace = DACE(
+            training=TrainingConfig(epochs=2, batch_size=32), seed=5
+        )
+        dace.fit(train_datasets[0])
+        before = dace.predict(train_datasets[0])
+        assert dace.service.cache_size > 0
+        dace.fine_tune_lora(train_datasets[0], epochs=2)
+        after = dace.predict(train_datasets[0])
+        # Stale cache entries would make these bit-identical.
+        assert not np.array_equal(before, after)

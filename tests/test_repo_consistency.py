@@ -78,7 +78,7 @@ class TestPackageExports:
         "repro.nn", "repro.catalog", "repro.sql", "repro.engine",
         "repro.workloads", "repro.featurize", "repro.core",
         "repro.baselines", "repro.cardest", "repro.apps", "repro.metrics",
-        "repro.bench",
+        "repro.bench", "repro.serve",
     ])
     def test_all_exports_resolve(self, module_name):
         import importlib
