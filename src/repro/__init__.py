@@ -12,6 +12,7 @@ system inventory and experiment index.
 from repro.core.estimator import DACE
 from repro.core.trainer import TrainingConfig
 from repro.metrics.qerror import qerror_summary
+from repro.obs import MetricsRegistry
 from repro.serve import EstimatorService, MicroBatcher, ModelRegistry
 from repro.workloads.zeroshot import workload1, workload2
 from repro.workloads.mscn import build_workload3
@@ -26,6 +27,7 @@ __all__ = [
     "workload2",
     "build_workload3",
     "EstimatorService",
+    "MetricsRegistry",
     "MicroBatcher",
     "ModelRegistry",
     "__version__",

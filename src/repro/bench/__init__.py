@@ -24,7 +24,7 @@ from repro.bench.extra import (
     ablation_capacity,
     ensemble_uncertainty,
 )
-from repro.bench.serve import serve_throughput
+from repro.bench.serve import obs_overhead, serve_throughput
 from repro.bench.experiments import (
     fig04_zeroshot_nodes,
     fig05_overall_accuracy,
@@ -68,4 +68,5 @@ __all__ = [
     "tab1_workload3",
     "tab2_efficiency",
     "serve_throughput",
+    "obs_overhead",
 ]

@@ -8,6 +8,9 @@ Examples::
     python -m repro train --workload airline.jsonl --out model/
     python -m repro finetune --model model/ --workload imdb.jsonl --out tuned/
     python -m repro evaluate --model tuned/ --workload imdb.jsonl
+    python -m repro serve --model tuned/ --workload imdb.jsonl \
+        --metrics metrics.jsonl
+    python -m repro obs metrics.jsonl --format table
     python -m repro explain --db imdb --model model/ \
         --sql "SELECT COUNT(*) FROM title WHERE title.production_year > 2000"
 """
@@ -26,6 +29,7 @@ from repro.engine.plan import explain as explain_plan
 from repro.engine.session import EngineSession
 from repro.metrics.qerror import qerror_summary
 from repro.metrics.tables import format_table
+from repro.obs import render_table, to_json_lines, to_prometheus
 from repro.sql.generator import QueryGenerator, WorkloadSpec
 from repro.sql.text import parse_query
 from repro.workloads.dataset import PlanDataset, collect_workload
@@ -147,6 +151,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+_METRIC_EXPORTERS = {
+    "table": lambda registry: render_table(registry, title="serving metrics"),
+    "json": to_json_lines,
+    "prom": to_prometheus,
+}
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Replay a workload through the serving runtime and report stats."""
     import time
@@ -179,6 +190,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if predictions:
         print(f"latency range: {min(predictions):.3f} .. "
               f"{max(predictions):.3f} ms")
+    if args.metrics:
+        report = _METRIC_EXPORTERS[args.metrics_format](dace.metrics)
+        with open(args.metrics, "w") as handle:
+            handle.write(report if report.endswith("\n") else report + "\n")
+        print(f"metrics ({args.metrics_format}) written to {args.metrics}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Pretty-print (or convert) a JSON-lines metrics dump."""
+    from repro.obs import load_json_lines
+
+    with open(args.path) as handle:
+        registry = load_json_lines(handle.read())
+    print(_METRIC_EXPORTERS[args.format](registry).rstrip("\n"))
     return 0
 
 
@@ -206,6 +232,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "taxonomy": bench.drift_taxonomy,
         "cardknowledge": bench.cardinality_knowledge,
         "serving": bench.serve_throughput,
+        "obsoverhead": bench.obs_overhead,
     }
     if args.experiment == "list":
         for name in runners:
@@ -290,7 +317,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batcher coalescing size")
     serve.add_argument("--repeat", type=int, default=2,
                        help="replay count (>1 exercises the cache)")
+    serve.add_argument("--metrics", default=None,
+                       help="write the metrics report to this path")
+    serve.add_argument("--metrics-format",
+                       choices=sorted(_METRIC_EXPORTERS), default="json",
+                       help="report format (json round-trips via "
+                            "'repro obs')")
     serve.set_defaults(func=_cmd_serve)
+
+    obs = sub.add_parser(
+        "obs", help="pretty-print a JSON-lines metrics dump"
+    )
+    obs.add_argument("path", help="file written by 'repro serve --metrics'")
+    obs.add_argument("--format", choices=sorted(_METRIC_EXPORTERS),
+                     default="table")
+    obs.set_defaults(func=_cmd_obs)
 
     bench = sub.add_parser(
         "bench", help="run one of the paper's experiments"
@@ -300,7 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["list", "fig04", "fig05", "tab1", "fig06", "tab2", "fig07",
                  "fig08", "fig09", "fig10", "fig11", "fig12", "alpha",
                  "capacity", "ensemble", "apps", "taxonomy",
-                 "cardknowledge", "serving"],
+                 "cardknowledge", "serving", "obsoverhead"],
     )
     bench.add_argument("--scale", choices=["smoke", "default", "paper"],
                        default="smoke")

@@ -24,6 +24,7 @@ from repro.core.trainer import Trainer, TrainingConfig
 from repro.engine.plan import PlanNode
 from repro.featurize.encoder import PlanEncoder
 from repro.featurize.loss_weights import DEFAULT_ALPHA
+from repro.obs import MetricsRegistry
 from repro.serve.service import EstimatorService
 from repro.workloads.dataset import PlanDataset
 
@@ -55,9 +56,15 @@ class DACE:
         rng = np.random.default_rng(seed)
         self.model = DACEModel(self.config, rng=rng)
         self.encoder = PlanEncoder(alpha=alpha, card_source=card_source)
-        self.trainer = Trainer(self.model, self.encoder, self.training)
+        # One registry for the whole estimator: training epochs, serving
+        # stage timings, and cache counters land in a single report.
+        self.metrics = MetricsRegistry()
+        self.trainer = Trainer(
+            self.model, self.encoder, self.training, metrics=self.metrics
+        )
         self.service = EstimatorService(
-            self.model, self.encoder, batch_size=self.training.batch_size
+            self.model, self.encoder, batch_size=self.training.batch_size,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------ #
@@ -108,7 +115,8 @@ class DACE:
             epochs=epochs if epochs is not None else self.training.epochs,
             lr=lr if lr is not None else self.training.lr,
         )
-        tuner = Trainer(self.model, self.encoder, tuning)
+        tuner = Trainer(self.model, self.encoder, tuning,
+                        metrics=self.metrics)
         tuner.fit(self._merge(datasets))
         # Keep the adaptation visible in the estimator's training history
         # rather than discarding the throwaway trainer's record.
@@ -150,6 +158,7 @@ class DACE:
         )
         meta = {
             "config": asdict(self.config),
+            "training": asdict(self.training),
             "alpha": self.alpha,
             "card_source": self.encoder.card_source,
             "seed": self.seed,
@@ -165,8 +174,15 @@ class DACE:
         config_dict = dict(meta["config"])
         config_dict["lora_ranks"] = tuple(config_dict["lora_ranks"])
         config = DACEConfig(**config_dict)
+        # Restore the training config too: the serving batch size derives
+        # from it, and a different batch size changes inference chunking
+        # (and therefore bit-level numerics) between save and load.
+        training = (
+            TrainingConfig(**meta["training"]) if "training" in meta else None
+        )
         dace = cls(
             config=config,
+            training=training,
             alpha=meta["alpha"],
             card_source=meta.get("card_source", "estimated"),
             seed=meta["seed"],

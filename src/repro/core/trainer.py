@@ -18,6 +18,7 @@ from repro.featurize.catcher import CaughtPlan, catch_plan
 from repro.featurize.encoder import PlanEncoder
 from repro.nn import Adam, CosineLR, StepLR, clip_grad_norm, no_grad
 from repro.nn.losses import log_qerror_loss, pinball_loss
+from repro.obs import MetricsRegistry
 from repro.workloads.dataset import PlanDataset
 
 
@@ -62,12 +63,14 @@ class Trainer:
         model: DACEModel,
         encoder: PlanEncoder,
         config: Optional[TrainingConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.model = model
         self.encoder = encoder
         # Per-instance default: a def-time TrainingConfig() would be one
         # shared mutable object across every Trainer ever constructed.
         self.config = config if config is not None else TrainingConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.history: List[dict] = []
 
     def _loss(self, pred, labels_log, weights):
@@ -140,28 +143,36 @@ class Trainer:
         best_val = float("inf")
         best_state = None
         stale = 0
+        epochs_run = self.metrics.counter(
+            "train.epochs", help="optimization epochs completed"
+        )
         for epoch in range(config.epochs):
             epoch_loss, seen = 0.0, 0
-            for chunk in self._batches(train_plans, rng):
-                batch = self.encoder.encode_batch(chunk)
-                optimizer.zero_grad()
-                pred = self.model(batch)
-                loss = self._loss(
-                    pred, batch.labels_log, batch.loss_weights
-                )
-                loss.backward()
-                if config.grad_clip > 0:
-                    clip_grad_norm(parameters, config.grad_clip)
-                optimizer.step()
-                epoch_loss += loss.item() * len(chunk)
-                seen += len(chunk)
-            if scheduler is not None:
-                scheduler.step()
+            with self.metrics.timer(
+                "train.epoch_seconds", help="wall time per training epoch"
+            ) as epoch_timer:
+                for chunk in self._batches(train_plans, rng):
+                    batch = self.encoder.encode_batch(chunk)
+                    optimizer.zero_grad()
+                    pred = self.model(batch)
+                    loss = self._loss(
+                        pred, batch.labels_log, batch.loss_weights
+                    )
+                    loss.backward()
+                    if config.grad_clip > 0:
+                        clip_grad_norm(parameters, config.grad_clip)
+                    optimizer.step()
+                    epoch_loss += loss.item() * len(chunk)
+                    seen += len(chunk)
+                if scheduler is not None:
+                    scheduler.step()
+            epochs_run.inc()
             val_loss = self._epoch_loss(val_plans) if val_plans else float("nan")
             self.history.append({
                 "epoch": epoch,
                 "train_loss": epoch_loss / max(seen, 1),
                 "val_loss": val_loss,
+                "seconds": epoch_timer.last,
             })
             if config.verbose:
                 print(f"epoch {epoch}: train={epoch_loss / max(seen, 1):.4f} "
@@ -192,6 +203,7 @@ class Trainer:
         service = EstimatorService(
             self.model, self.encoder,
             batch_size=self.config.batch_size, cache_size=0,
+            metrics=self.metrics,
         )
         return service.predict_log(dataset)
 

@@ -15,12 +15,30 @@ Walks a query-plan tree by pre-order DFS and extracts, per node:
 from __future__ import annotations
 
 import hashlib
+import struct
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from repro.engine.plan import NODE_TYPE_INDEX, PlanNode
+
+
+# str(dtype) costs ~µs per call, which would dominate the warm-cache
+# serving path (fingerprints are recomputed per lookup): memoize it.
+_DTYPE_BYTES: dict = {}
+
+
+def _hash_field(digest, tag: bytes, array: np.ndarray) -> None:
+    """Frame one array as ``tag:dtype:length:bytes`` inside the digest."""
+    dtype_bytes = _DTYPE_BYTES.get(array.dtype)
+    if dtype_bytes is None:
+        dtype_bytes = str(array.dtype).encode("ascii")
+        _DTYPE_BYTES[array.dtype] = dtype_bytes
+    digest.update(
+        tag + b":" + dtype_bytes + b":" + struct.pack("<q", array.size)
+    )
+    digest.update(array.tobytes())
 
 
 @dataclass
@@ -52,16 +70,19 @@ class CaughtPlan:
         ``card_source="actual"`` oracle variant never aliases.  Two plans
         with the same fingerprint produce the same encoded features, which
         makes this the key for serving-time encoding/prediction caches.
+
+        Each field is framed with a tag, its dtype, and its length before
+        the raw bytes, so differently-shaped field splits whose
+        concatenated bytes happen to coincide can never collide.
         """
         if self._fingerprint is None:
             digest = hashlib.blake2b(digest_size=16)
-            digest.update(self.node_type_ids.tobytes())
-            digest.update(self.parents.tobytes())
-            digest.update(self.est_rows.tobytes())
-            digest.update(self.est_costs.tobytes())
+            _hash_field(digest, b"types", self.node_type_ids)
+            _hash_field(digest, b"parents", self.parents)
+            _hash_field(digest, b"rows", self.est_rows)
+            _hash_field(digest, b"costs", self.est_costs)
             if self.actual_rows is not None:
-                digest.update(b"A")
-                digest.update(self.actual_rows.tobytes())
+                _hash_field(digest, b"arows", self.actual_rows)
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
 

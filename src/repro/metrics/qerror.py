@@ -38,13 +38,22 @@ class QErrorSummary:
 
 
 def qerror_summary(est: np.ndarray, actual: np.ndarray) -> QErrorSummary:
-    """Summarize q-errors of predictions against actual latencies."""
+    """Summarize q-errors of predictions against actual latencies.
+
+    Raises on NaN/inf or non-positive inputs: letting them through would
+    silently propagate NaN percentiles (or floor-clipped garbage ratios)
+    into every accuracy table built on top.
+    """
     est = np.asarray(est, dtype=np.float64)
     actual = np.asarray(actual, dtype=np.float64)
     if est.shape != actual.shape:
         raise ValueError(f"shape mismatch: {est.shape} vs {actual.shape}")
     if est.size == 0:
         raise ValueError("cannot summarize empty predictions")
+    if not (np.all(np.isfinite(est)) and np.all(np.isfinite(actual))):
+        raise ValueError("q-error inputs must be finite (got NaN or inf)")
+    if np.any(est <= 0) or np.any(actual <= 0):
+        raise ValueError("q-error inputs must be positive latencies")
     errors = qerror(est, actual)
     percentiles = np.percentile(errors, [50, 90, 95, 99])
     return QErrorSummary(

@@ -1,0 +1,174 @@
+"""Exporters: one MetricsRegistry, three wire formats.
+
+- :func:`render_table` — the human-readable report the CLI prints;
+- :func:`to_json_lines` / :func:`load_json_lines` — a lossless
+  round-trippable dump (one JSON object per metric, plus span records),
+  the format ``repro serve --metrics`` writes and ``repro obs`` reads;
+- :func:`to_prometheus` — Prometheus text exposition format, so a real
+  scrape endpoint only needs to serve this string.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import List
+
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.registry import MetricsRegistry, SpanRecord
+
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+# ---------------------------------------------------------------------- #
+# Human table
+# ---------------------------------------------------------------------- #
+def render_table(registry: MetricsRegistry, title: str = "metrics") -> str:
+    """Aligned plain-text report: counters, gauges, then histograms."""
+    counters = [m for m in registry if isinstance(m, Counter)]
+    gauges = [m for m in registry if isinstance(m, Gauge)]
+    histograms = [m for m in registry if isinstance(m, Histogram)]
+
+    lines: List[str] = [f"== {title} =="]
+    if counters:
+        width = max(len(m.name) for m in counters)
+        lines.append("-- counters --")
+        for m in counters:
+            lines.append(f"{m.name:<{width}}  {m.value}")
+    if gauges:
+        width = max(len(m.name) for m in gauges)
+        lines.append("-- gauges --")
+        for m in gauges:
+            lines.append(f"{m.name:<{width}}  {_fmt(m.value)}")
+    if histograms:
+        width = max(len(m.name) for m in histograms)
+        lines.append("-- histograms --")
+        header = (f"{'name':<{width}}  {'count':>8} {'mean':>10} "
+                  f"{'p50':>10} {'p90':>10} {'p99':>10} {'max':>10}")
+        lines.append(header)
+        for m in histograms:
+            lines.append(
+                f"{m.name:<{width}}  {m.count:>8} {_fmt(m.mean):>10} "
+                f"{_fmt(m.quantile(0.5)):>10} {_fmt(m.quantile(0.9)):>10} "
+                f"{_fmt(m.quantile(0.99)):>10} {_fmt(m.max):>10}"
+            )
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# JSON lines (round-trippable)
+# ---------------------------------------------------------------------- #
+def to_json_lines(registry: MetricsRegistry) -> str:
+    """One JSON object per line: every metric, then every trace span."""
+    lines: List[str] = []
+    for metric in registry:
+        if isinstance(metric, Counter):
+            record = {"type": "counter", "name": metric.name,
+                      "help": metric.help, "value": metric.value}
+        elif isinstance(metric, Gauge):
+            record = {"type": "gauge", "name": metric.name,
+                      "help": metric.help, "value": metric.value}
+        else:
+            record = {
+                "type": "histogram", "name": metric.name,
+                "help": metric.help, "count": metric.count,
+                "sum": metric.sum, "min": metric.min, "max": metric.max,
+                "bounds": list(metric.bounds),
+                "counts": metric.bucket_counts(),
+            }
+        lines.append(json.dumps(record))
+    for span in registry.trace:
+        lines.append(json.dumps({
+            "type": "span", "name": span.name, "start": span.start,
+            "duration": span.duration, "depth": span.depth,
+        }))
+    return "\n".join(lines)
+
+
+def load_json_lines(text: str) -> MetricsRegistry:
+    """Rebuild a registry from :func:`to_json_lines` output."""
+    registry = MetricsRegistry()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "counter":
+            registry.counter(record["name"], record.get("help", "")).inc(
+                int(record["value"])
+            )
+        elif kind == "gauge":
+            registry.gauge(record["name"], record.get("help", "")).set(
+                record["value"]
+            )
+        elif kind == "histogram":
+            histogram = registry.histogram(
+                record["name"], record.get("help", ""),
+                buckets=record["bounds"],
+            )
+            histogram._counts = [int(c) for c in record["counts"]]
+            histogram._count = int(record["count"])
+            histogram._sum = float(record["sum"])
+            count = histogram._count
+            histogram._min = float(record["min"]) if count else math.inf
+            histogram._max = float(record["max"]) if count else -math.inf
+        elif kind == "span":
+            registry._trace.append(SpanRecord(
+                name=record["name"], start=float(record["start"]),
+                duration=float(record["duration"]),
+                depth=int(record["depth"]),
+            ))
+        else:
+            raise ValueError(f"unknown metrics record type {kind!r}")
+    return registry
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition format
+# ---------------------------------------------------------------------- #
+def _prom_name(name: str) -> str:
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text format (counters, gauges, cumulative buckets)."""
+    lines: List[str] = []
+    for metric in registry:
+        name = _prom_name(metric.name)
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {metric.value}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(metric.value)}")
+        else:
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            counts = metric.bucket_counts()
+            for bound, bucket_count in zip(metric.bounds, counts):
+                cumulative += bucket_count
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{name}_sum {_fmt(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

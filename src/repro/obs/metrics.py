@@ -1,0 +1,181 @@
+"""Metric primitives: counters, gauges, and streaming histograms.
+
+Everything here is dependency-free and allocation-light so it can sit on
+the serving hot path: a counter increment is one integer add, a histogram
+observation is one binary search plus three float updates.  Histograms
+never store samples — quantiles (p50/p90/p99) are interpolated from
+fixed log-spaced bucket counts, so memory stays O(buckets) no matter how
+many observations stream through.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
+
+# Log-spaced boundaries, 8 per decade from 1e-7 to 1e5: fine enough that
+# interpolated quantiles land within ~15% of the true value, wide enough
+# to cover sub-microsecond timers and thousand-plan batch sizes alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** (exponent / 8.0) for exponent in range(-56, 41)
+)
+
+
+class Counter:
+    """Monotonically increasing count (events, cache hits, plans served)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """Point-in-time value (queue depth, coalescing ratio, cache size)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus bucketed quantiles.
+
+    ``observe`` files the value into a fixed log-spaced bucket; ``quantile``
+    finds the bucket holding the requested rank and interpolates linearly
+    inside it, clamped to the observed min/max so single-observation
+    histograms report exact values.
+    """
+
+    __slots__ = ("name", "help", "bounds", "_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} buckets must be sorted")
+        self.name = name
+        self.help = help
+        self.bounds = bounds                     # upper bound per bucket
+        self._counts = [0] * (len(bounds) + 1)   # +1 overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def quantile(self, q: float) -> float:
+        """Interpolated q-quantile (q in [0, 1]) of everything observed."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                low = self.bounds[index - 1] if index > 0 else 0.0
+                high = (self.bounds[index] if index < len(self.bounds)
+                        else self._max)
+                # Clamp the bucket to the observed range so tight
+                # distributions do not smear across the whole bucket.
+                low = max(low, self._min)
+                high = min(high, self._max)
+                if high <= low:
+                    return high
+                fraction = (rank - cumulative) / bucket_count
+                return low + fraction * (high - low)
+            cumulative += bucket_count
+        return self._max
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket observation counts (last entry is the overflow)."""
+        return list(self._counts)
+
+    def reset(self) -> None:
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name} count={self._count} "
+                f"mean={self.mean:.6g})")

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.engine.plan import PlanNode
+from repro.obs import MetricsRegistry
 
 
 class PendingPrediction:
@@ -55,7 +56,12 @@ class MicroBatcher:
     traffic reaches it.
     """
 
-    def __init__(self, estimator, max_batch: int = 64) -> None:
+    def __init__(
+        self,
+        estimator,
+        max_batch: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.estimator = estimator
@@ -64,6 +70,26 @@ class MicroBatcher:
         self._handles: List[PendingPrediction] = []
         self.batches_run = 0
         self.plans_batched = 0
+        # Share the wrapped estimator's registry when it has one, so one
+        # report covers the whole serving stack.
+        if metrics is None:
+            metrics = getattr(estimator, "metrics", None)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queue_depth = self.metrics.gauge(
+            "batch.queue_depth", help="plans currently queued"
+        )
+        self._flush_sizes = self.metrics.histogram(
+            "batch.flush_size", help="plans coalesced per flush"
+        )
+        self._flushes = self.metrics.counter(
+            "batch.flushes", help="batched inference calls run"
+        )
+        self._plans_total = self.metrics.counter(
+            "batch.plans", help="plans submitted through the batcher"
+        )
+        self._coalescing = self.metrics.gauge(
+            "batch.coalescing_ratio", help="mean plans per flush so far"
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -75,21 +101,41 @@ class MicroBatcher:
         handle = PendingPrediction(self)
         self._plans.append(plan)
         self._handles.append(handle)
+        self._plans_total.inc()
+        self._queue_depth.set(len(self._plans))
         if len(self._plans) >= self.max_batch:
             self.flush()
         return handle
 
     def flush(self) -> None:
-        """Run one batched inference over everything queued."""
+        """Run one batched inference over everything queued.
+
+        If the underlying estimator raises, the queue is restored intact
+        (same order, ahead of anything submitted later) and the exception
+        propagates: no submitted plan is ever dropped, and every handle
+        stays pending so a retried ``flush``/``result`` can still resolve
+        it.
+        """
         if not self._plans:
             return
         plans, handles = self._plans, self._handles
         self._plans, self._handles = [], []
-        values = self.estimator.predict_plans(plans)
+        try:
+            with self.metrics.timer("batch.flush_seconds"):
+                values = self.estimator.predict_plans(plans)
+        except Exception:
+            self._plans = plans + self._plans
+            self._handles = handles + self._handles
+            self._queue_depth.set(len(self._plans))
+            raise
         for handle, value in zip(handles, values):
             handle._resolve(float(value))
         self.batches_run += 1
         self.plans_batched += len(plans)
+        self._flushes.inc()
+        self._flush_sizes.observe(len(plans))
+        self._queue_depth.set(len(self._plans))
+        self._coalescing.set(self.plans_batched / self.batches_run)
 
     # ------------------------------------------------------------------ #
     # Estimator protocol

@@ -5,22 +5,60 @@ Keys are plan fingerprints (see
 whatever the service wants to reuse — per-node log-latency arrays,
 embeddings.  Capacity 0 disables storage entirely (every lookup is a
 miss) without callers needing a special case.
+
+Accounting is backed by :mod:`repro.obs` counters: a standalone cache
+gets its own private :class:`~repro.obs.registry.MetricsRegistry`, while
+the :class:`~repro.serve.service.EstimatorService` hands its cache the
+service-wide registry so hit/miss/eviction counts show up in the same
+report as stage timings — one source of truth either way.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Any, Hashable, Optional
 
+from collections import OrderedDict
 
-@dataclass
+from repro.obs import MetricsRegistry
+
+
 class CacheStats:
-    """Counters accumulated since the last ``reset``."""
+    """Hit/miss/eviction counters, viewed through ``repro.obs`` counters.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
+    Keeps the original read API (``stats.hits``, ``stats.hit_rate``,
+    ``stats.reset()``) while the underlying counts live on a metrics
+    registry — pass one in to fold cache accounting into a wider report.
+    """
+
+    __slots__ = ("_hits", "_misses", "_evictions")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "cache",
+    ) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._hits = registry.counter(
+            f"{prefix}.hits", help="lookups served from cache"
+        )
+        self._misses = registry.counter(
+            f"{prefix}.misses", help="lookups that missed"
+        )
+        self._evictions = registry.counter(
+            f"{prefix}.evictions", help="entries dropped by LRU pressure"
+        )
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     @property
     def lookups(self) -> int:
@@ -32,8 +70,19 @@ class CacheStats:
         total = self.lookups
         return self.hits / total if total else 0.0
 
+    def record_hit(self) -> None:
+        self._hits.inc()
+
+    def record_miss(self) -> None:
+        self._misses.inc()
+
+    def record_eviction(self) -> None:
+        self._evictions.inc()
+
     def reset(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        self._hits.reset()
+        self._misses.reset()
+        self._evictions.reset()
 
     def __str__(self) -> str:
         return (f"hits={self.hits} misses={self.misses} "
@@ -47,12 +96,14 @@ class LRUCache:
     refreshes and evicts the coldest entry past ``capacity``.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self, capacity: int, stats: Optional[CacheStats] = None
+    ) -> None:
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self.stats = CacheStats()
+        self.stats = stats if stats is not None else CacheStats()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -64,10 +115,10 @@ class LRUCache:
         """The cached value, or None — counting the hit/miss either way."""
         entry = self._entries.get(key)
         if entry is None:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
         self._entries.move_to_end(key)
-        self.stats.hits += 1
+        self.stats.record_hit()
         return entry
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -78,7 +129,7 @@ class LRUCache:
         self._entries[key] = value
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.record_eviction()
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; see ``stats.reset``)."""

@@ -15,19 +15,30 @@ Wraps any model + encoder pair behind the :class:`Estimator` protocol:
 
 The cache stores *log-space node vectors*, so one warm entry serves
 ``predict_plan``, ``predict_subplans``, and dataset-level calls alike.
-Owners must call :meth:`invalidate` whenever model weights change
-(training, LoRA fine-tuning, adapter hot-swap).
+Cached arrays are **read-only** (``flags.writeable = False``) — the same
+object is handed to every hit, so in-place mutation would poison every
+later lookup; NumPy raises instead.  Owners must call :meth:`invalidate`
+whenever model weights change (training, LoRA fine-tuning, adapter
+hot-swap).
+
+Every service carries a :class:`~repro.obs.registry.MetricsRegistry`
+(``service.metrics``) recording per-stage wall time
+(``serve.encode_seconds``, ``serve.forward_seconds``,
+``serve.request_seconds``), the batch-size distribution
+(``serve.batch_size``), request/plan counters, and the cache's
+hit/miss/eviction counters (``serve.cache.*``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.plan import PlanNode
 from repro.featurize.catcher import CaughtPlan, catch_plan
 from repro.nn import no_grad
+from repro.obs import MetricsRegistry
 from repro.serve.cache import CacheStats, LRUCache
 
 DEFAULT_CACHE_SIZE = 4096
@@ -42,17 +53,32 @@ class EstimatorService:
         encoder,
         batch_size: int = 64,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.model = model
         self.encoder = encoder
         self.batch_size = batch_size
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Workload-dependent extra features read predicate literals the
-        # fingerprint does not cover, so caching would alias: disable it.
-        if getattr(encoder, "extra_features", False):
+        # fingerprint does not cover, so two distinct plans can share a
+        # fingerprint: both the cache and in-call dedup must stand down.
+        self._fingerprint_safe = not getattr(encoder, "extra_features", False)
+        if not self._fingerprint_safe:
             cache_size = 0
-        self._cache = LRUCache(cache_size)
+        self._cache = LRUCache(
+            cache_size, stats=CacheStats(self.metrics, prefix="serve.cache")
+        )
+        self._requests = self.metrics.counter(
+            "serve.requests", help="prediction/embedding calls served"
+        )
+        self._plans_seen = self.metrics.counter(
+            "serve.plans", help="plans routed through the service"
+        )
+        self._batch_sizes = self.metrics.histogram(
+            "serve.batch_size", help="plans per model forward"
+        )
 
     # ------------------------------------------------------------------ #
     # Cache management
@@ -70,7 +96,8 @@ class EstimatorService:
         self._cache.clear()
 
     def reset_stats(self) -> None:
-        self._cache.stats.reset()
+        """Zero every metric on the registry (cache counters included)."""
+        self.metrics.reset()
 
     # ------------------------------------------------------------------ #
     # Model access
@@ -104,28 +131,57 @@ class EstimatorService:
         ``forward`` maps an encoded batch to a (B, ...) array; ``extract``
         slices row ``row`` of that output down to plan ``plan``'s own
         entry (trimming padding).
+
+        Duplicate fingerprints within one call are encoded and forwarded
+        once; the other occurrences resolve from that first computation
+        and count as cache hits.  Every array handed back (and cached) is
+        read-only so a caller mutating a result cannot poison later hits.
         """
-        results: List[Optional[np.ndarray]] = [None] * len(caught)
-        misses: List[int] = []
-        for index, plan in enumerate(caught):
-            entry = self._cache.get((kind, plan.fingerprint()))
-            if entry is not None:
-                results[index] = entry
-            else:
-                misses.append(index)
-        if misses:
-            # Sort by node count so padding inside each chunk stays small.
-            misses.sort(key=lambda index: caught[index].num_nodes)
-            for start in range(0, len(misses), self.batch_size):
-                chunk = misses[start:start + self.batch_size]
-                batch = self.encoder.encode_batch(
-                    [caught[index] for index in chunk], with_labels=False
-                )
-                output = forward(batch)
-                for row, index in enumerate(chunk):
-                    value = extract(output, row, caught[index])
-                    results[index] = value
-                    self._cache.put((kind, caught[index].fingerprint()), value)
+        self._requests.inc()
+        self._plans_seen.inc(len(caught))
+        with self.metrics.span("serve.request_seconds"):
+            results: List[Optional[np.ndarray]] = [None] * len(caught)
+            misses: List[int] = []
+            # First in-call index per fingerprint, so duplicates piggyback
+            # on one computation instead of each missing independently.
+            pending: Dict[Tuple[str, str], int] = {}
+            duplicates: Dict[int, List[int]] = {}
+            for index, plan in enumerate(caught):
+                key = (kind, plan.fingerprint())
+                if self._fingerprint_safe and key in pending:
+                    duplicates.setdefault(pending[key], []).append(index)
+                    self._cache.stats.record_hit()
+                    continue
+                entry = self._cache.get(key)
+                if entry is not None:
+                    results[index] = entry
+                else:
+                    if self._fingerprint_safe:
+                        pending[key] = index
+                    misses.append(index)
+            if misses:
+                # Sort by node count so padding inside each chunk stays
+                # small.
+                misses.sort(key=lambda index: caught[index].num_nodes)
+                for start in range(0, len(misses), self.batch_size):
+                    chunk = misses[start:start + self.batch_size]
+                    self._batch_sizes.observe(len(chunk))
+                    with self.metrics.span("serve.encode_seconds"):
+                        batch = self.encoder.encode_batch(
+                            [caught[index] for index in chunk],
+                            with_labels=False,
+                        )
+                    with self.metrics.span("serve.forward_seconds"):
+                        output = forward(batch)
+                    for row, index in enumerate(chunk):
+                        value = extract(output, row, caught[index])
+                        value.flags.writeable = False
+                        results[index] = value
+                        self._cache.put(
+                            (kind, caught[index].fingerprint()), value
+                        )
+                        for dup in duplicates.get(index, ()):
+                            results[dup] = value
         return results  # type: ignore[return-value]
 
     def _node_logs(self, caught: Sequence[CaughtPlan]) -> List[np.ndarray]:
@@ -185,4 +241,9 @@ class EstimatorService:
     def embed_dataset(self, dataset) -> np.ndarray:
         """Context vectors for every plan: shape (len(dataset), hidden2)."""
         embeddings = self._embeddings([catch_plan(s.plan) for s in dataset])
-        return np.stack(embeddings) if embeddings else np.empty((0, 0))
+        if embeddings:
+            return np.stack(embeddings)
+        # Preserve the embedding width even when empty so downstream
+        # concatenation (np.hstack with other feature blocks) still works.
+        hidden = getattr(getattr(self.model, "config", None), "hidden2", 0)
+        return np.empty((0, hidden))

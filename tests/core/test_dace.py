@@ -198,6 +198,15 @@ class TestPersistence:
                 value, loaded.model.state_dict()[name], err_msg=name
             )
 
+    def test_training_config_preserved(self, fitted_dace, tmp_path):
+        # The serving batch size derives from the training config; losing
+        # it on load changes inference chunking and bit-level numerics.
+        path = str(tmp_path / "dace_cfg")
+        fitted_dace.save(path)
+        loaded = DACE.load(path)
+        assert loaded.training == fitted_dace.training
+        assert loaded.service.batch_size == fitted_dace.service.batch_size
+
 
 class TestHistoryAndDefaults:
     def test_fine_tune_history_preserved(self, train_datasets,

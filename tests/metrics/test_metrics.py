@@ -45,6 +45,27 @@ class TestQErrorSummary:
         assert summary.median == pytest.approx(scale, rel=1e-9)
         assert summary.max == pytest.approx(scale, rel=1e-9)
 
+    # Regression: NaN/non-positive inputs used to flow straight through,
+    # yielding NaN percentiles (or floor-clipped garbage) in every table.
+    def test_nan_rejected(self):
+        good = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="finite"):
+            qerror_summary(np.array([1.0, np.nan, 3.0]), good)
+        with pytest.raises(ValueError, match="finite"):
+            qerror_summary(good, np.array([1.0, np.nan, 3.0]))
+
+    def test_inf_rejected(self):
+        good = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="finite"):
+            qerror_summary(np.array([1.0, np.inf, 3.0]), good)
+
+    def test_non_positive_rejected(self):
+        good = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="positive"):
+            qerror_summary(np.array([1.0, 0.0, 3.0]), good)
+        with pytest.raises(ValueError, match="positive"):
+            qerror_summary(good, np.array([1.0, -2.0, 3.0]))
+
 
 class TestFormatTable:
     def test_basic(self):

@@ -1,0 +1,90 @@
+"""Exporters: human table, JSON-lines round-trip, Prometheus text."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    load_json_lines,
+    render_table,
+    to_json_lines,
+    to_prometheus,
+)
+
+
+@pytest.fixture()
+def populated():
+    registry = MetricsRegistry()
+    registry.counter("serve.cache.hits", help="lookups served").inc(42)
+    registry.gauge("batch.queue_depth").set(3.5)
+    histogram = registry.histogram("serve.encode_seconds")
+    for value in (0.001, 0.002, 0.004, 0.008):
+        histogram.observe(value)
+    with registry.span("serve.request_seconds"):
+        pass
+    return registry
+
+
+class TestTable:
+    def test_sections_and_values(self, populated):
+        table = render_table(populated, title="serving metrics")
+        assert "serving metrics" in table
+        assert "serve.cache.hits" in table
+        assert "42" in table
+        assert "batch.queue_depth" in table
+        assert "serve.encode_seconds" in table
+        assert "p50" in table and "p99" in table
+
+    def test_empty_registry(self):
+        assert "no metrics" in render_table(MetricsRegistry())
+
+
+class TestJsonLines:
+    def test_every_line_is_json(self, populated):
+        lines = to_json_lines(populated).splitlines()
+        records = [json.loads(line) for line in lines]
+        types = {record["type"] for record in records}
+        assert types == {"counter", "gauge", "histogram", "span"}
+
+    def test_round_trip(self, populated):
+        restored = load_json_lines(to_json_lines(populated))
+        assert restored.counter("serve.cache.hits").value == 42
+        assert restored.gauge("batch.queue_depth").value == 3.5
+        original = populated.get("serve.encode_seconds")
+        histogram = restored.get("serve.encode_seconds")
+        assert histogram.count == original.count
+        assert histogram.sum == pytest.approx(original.sum)
+        assert histogram.min == original.min
+        assert histogram.max == original.max
+        for q in (0.5, 0.9, 0.99):
+            assert histogram.quantile(q) == pytest.approx(
+                original.quantile(q)
+            )
+        assert [s.name for s in restored.trace] == [
+            s.name for s in populated.trace
+        ]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            load_json_lines('{"type": "mystery", "name": "x"}')
+
+
+class TestPrometheus:
+    def test_format(self, populated):
+        text = to_prometheus(populated)
+        assert "# TYPE serve_cache_hits counter" in text
+        assert "serve_cache_hits 42" in text
+        assert "# TYPE batch_queue_depth gauge" in text
+        assert "# TYPE serve_encode_seconds histogram" in text
+        assert 'serve_encode_seconds_bucket{le="+Inf"} 4' in text
+        assert "serve_encode_seconds_count 4" in text
+        assert "# HELP serve_cache_hits lookups served" in text
+
+    def test_buckets_cumulative(self, populated):
+        counts = []
+        for line in to_prometheus(populated).splitlines():
+            if line.startswith("serve_encode_seconds_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)
+        assert counts[-1] == 4

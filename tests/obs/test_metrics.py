@@ -1,0 +1,167 @@
+"""Metric primitives: counters, gauges, streaming histograms, registry."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == pytest.approx(11.5)
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        histogram = Histogram("h")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(10.0)
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+
+    def test_empty(self):
+        histogram = Histogram("h")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_single_observation_exact(self):
+        histogram = Histogram("h")
+        histogram.observe(0.125)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.125, rel=1e-9)
+
+    def test_quantiles_approximate_percentiles(self):
+        """Streaming quantiles stay within one bucket of the truth."""
+        rng = np.random.default_rng(7)
+        samples = np.exp(rng.normal(loc=-3.0, scale=1.5, size=20_000))
+        histogram = Histogram("h")
+        for value in samples:
+            histogram.observe(value)
+        for q in (0.5, 0.9, 0.99):
+            exact = float(np.percentile(samples, q * 100))
+            approx = histogram.quantile(q)
+            # Bucket width is 10^(1/8) ~ 1.33x: allow one bucket of error.
+            assert exact / 1.34 <= approx <= exact * 1.34
+
+    def test_quantile_monotone(self):
+        rng = np.random.default_rng(11)
+        histogram = Histogram("h")
+        for value in rng.uniform(0.001, 10.0, size=5000):
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q) for q in
+                     (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[2.0, 1.0])
+
+    def test_no_samples_stored(self):
+        """Memory is O(buckets): 1M observations fit in the same counts."""
+        histogram = Histogram("h", buckets=[1.0, 10.0, 100.0])
+        for _ in range(1000):
+            histogram.observe(5.0)
+        assert histogram.count == 1000
+        assert len(histogram.bucket_counts()) == 4
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+        assert len(registry) == 2
+        assert "a" in registry
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_reset_keeps_names(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(5)
+        registry.reset()
+        assert "a" in registry
+        assert registry.counter("a").value == 0
+
+    def test_timer_records_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("stage_seconds") as timer:
+            time.sleep(0.01)
+        histogram = registry.get("stage_seconds")
+        assert histogram.count == 1
+        assert timer.last >= 0.009
+        assert histogram.sum == pytest.approx(timer.last)
+
+    def test_span_appends_trace(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        trace = registry.trace
+        assert [record.name for record in trace] == ["inner", "outer"]
+        assert trace[0].depth == 1
+        assert trace[1].depth == 0
+        assert trace[1].duration >= trace[0].duration
+
+    def test_trace_bounded(self):
+        registry = MetricsRegistry(trace_capacity=3)
+        for _ in range(10):
+            with registry.span("s"):
+                pass
+        assert len(registry.trace) == 3
+        assert registry.get("s").count == 10
+
+
+class TestNullRegistry:
+    def test_everything_is_noop(self):
+        NULL_REGISTRY.counter("a").inc(5)
+        NULL_REGISTRY.gauge("b").set(1.0)
+        NULL_REGISTRY.histogram("c").observe(2.0)
+        with NULL_REGISTRY.timer("d"):
+            pass
+        with NULL_REGISTRY.span("e"):
+            pass
+        assert NULL_REGISTRY.counter("a").value == 0
+        assert NULL_REGISTRY.histogram("c").count == 0
+        assert NULL_REGISTRY.trace == []

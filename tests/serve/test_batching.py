@@ -65,6 +65,72 @@ class TestCoalescing:
         assert batcher.batches_run == 0
 
 
+class _FlakyEstimator:
+    """Fails the first ``failures`` predict_plans calls, then recovers."""
+
+    def __init__(self, estimator, failures: int = 1) -> None:
+        self._estimator = estimator
+        self._failures = failures
+        self.calls = 0
+
+    def predict_plans(self, plans):
+        self.calls += 1
+        if self.calls <= self._failures:
+            raise RuntimeError("transient model backend failure")
+        return self._estimator.predict_plans(plans)
+
+
+class TestFlushFailureRecovery:
+    """Regression: a mid-flush exception used to drop every queued plan
+    and leave every handle permanently unresolvable."""
+
+    def test_queue_restored_on_failure(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(_FlakyEstimator(service), max_batch=64)
+        handles = [batcher.submit(plan) for plan in plans[:6]]
+        with pytest.raises(RuntimeError):
+            batcher.flush()
+        assert batcher.pending == 6              # nothing was dropped
+        assert not any(handle.done for handle in handles)
+        assert batcher.batches_run == 0
+
+    def test_retry_resolves_every_handle(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(_FlakyEstimator(service), max_batch=64)
+        handles = [batcher.submit(plan) for plan in plans[:6]]
+        with pytest.raises(RuntimeError):
+            batcher.flush()
+        batcher.flush()                          # backend recovered
+        values = np.array([handle.result() for handle in handles])
+        np.testing.assert_allclose(
+            values, service.predict_plans(plans[:6]), rtol=1e-12
+        )
+
+    def test_result_retry_after_failure(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(_FlakyEstimator(service), max_batch=64)
+        handle = batcher.submit(plans[0])
+        with pytest.raises(RuntimeError):
+            handle.result()
+        assert not handle.done
+        assert handle.result() == pytest.approx(
+            service.predict_plan(plans[0])
+        )
+
+    def test_submissions_after_failure_keep_order(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(_FlakyEstimator(service), max_batch=64)
+        first = batcher.submit(plans[0])
+        with pytest.raises(RuntimeError):
+            batcher.flush()
+        second = batcher.submit(plans[1])
+        batcher.flush()
+        assert first.result() == pytest.approx(service.predict_plan(plans[0]))
+        assert second.result() == pytest.approx(
+            service.predict_plan(plans[1])
+        )
+
+
 class TestEstimatorFacade:
     def test_satisfies_protocol(self, service_and_plans):
         service, _ = service_and_plans

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.featurize import catch_plan
+from repro.featurize.catcher import CaughtPlan
 from repro.serve import LRUCache
 
 
@@ -87,3 +88,46 @@ class TestFingerprint:
             pytest.skip("workload plans carry no actual rows")
         stripped.actual_rows = None
         assert stripped.fingerprint() != caught.fingerprint()
+
+
+def _synthetic_caught(types, parents, rows, costs, arows=None):
+    """A CaughtPlan built straight from arrays (fingerprint ignores nodes)."""
+    return CaughtPlan(
+        nodes=[None] * len(types),
+        node_type_ids=np.array(types, dtype=np.int64),
+        est_rows=np.array(rows, dtype=np.float64),
+        est_costs=np.array(costs, dtype=np.float64),
+        adjacency=np.zeros((len(types), len(types)), dtype=bool),
+        heights=np.zeros(len(types), dtype=np.int64),
+        parents=np.array(parents, dtype=np.int64),
+        actual_times=None,
+        actual_rows=(None if arows is None
+                     else np.array(arows, dtype=np.float64)),
+    )
+
+
+class TestFingerprintFraming:
+    """Regression: bare ``tobytes()`` concatenation let differently-shaped
+    field splits collide byte-for-byte."""
+
+    def test_shifted_field_split_no_longer_collides(self):
+        # Both plans concatenate to identical bytes under the old
+        # unframed scheme (verified against it): [1,2,-1,0] + 1.5.
+        first = _synthetic_caught([1, 2], [-1, 0], [1.5], [])
+        second = _synthetic_caught([1], [2, -1, 0], [], [1.5])
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_empty_vs_missing_actual_rows(self):
+        with_empty = _synthetic_caught([1], [-1], [2.0], [3.0], arows=[])
+        without = _synthetic_caught([1], [-1], [2.0], [3.0])
+        assert with_empty.fingerprint() != without.fingerprint()
+
+    def test_digest_pinned_across_processes(self):
+        """The framed digest is part of the cache-key contract: changing
+        it silently would invalidate any externally persisted keys."""
+        plain = _synthetic_caught([1, 2], [-1, 0], [10.0, 20.0], [1.5, 2.5])
+        assert plain.fingerprint() == "31fce42001576e2867c6ded87f33c6c6"
+        labelled = _synthetic_caught(
+            [1, 2], [-1, 0], [10.0, 20.0], [1.5, 2.5], arows=[3.0, 4.0]
+        )
+        assert labelled.fingerprint() == "0101889fe213ef107a91decd60d314f4"

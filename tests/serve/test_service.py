@@ -87,13 +87,15 @@ class TestCacheSemantics:
     def test_second_pass_all_hits(self, setup):
         model, encoder, _, plans = setup
         service = EstimatorService(model, encoder)
+        unique = len(set(catch_plan(p).fingerprint() for p in plans))
         cold = service.predict_plans(plans)
-        assert service.cache_stats.hits == 0
+        # In-call duplicates resolve from the first computation and count
+        # as hits even on the cold pass; only unique plans miss.
+        assert service.cache_stats.hits == len(plans) - unique
+        assert service.cache_stats.misses == unique
         warm = service.predict_plans(plans)
-        assert service.cache_stats.hits == len(plans)
-        assert service.cache_size == len(set(
-            catch_plan(p).fingerprint() for p in plans
-        ))
+        assert service.cache_stats.hits == 2 * len(plans) - unique
+        assert service.cache_size == unique
         np.testing.assert_array_equal(cold, warm)
 
     def test_cached_values_identical_across_batsizes(self, setup):
@@ -161,3 +163,109 @@ class TestWeightChangeInvalidation:
         after = dace.predict(train_datasets[0])
         # Stale cache entries would make these bit-identical.
         assert not np.array_equal(before, after)
+
+
+class TestCachePoisoning:
+    """Regression: hits used to hand out the cached array object itself,
+    so a caller mutating a result silently corrupted every later hit."""
+
+    def test_results_are_read_only(self, setup):
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder)
+        subplans = service.predict_subplans(plans[0])  # fresh array: fine
+        assert subplans.flags.writeable
+        embedding = service.embed_plan(plans[0])       # cached object
+        with pytest.raises(ValueError):
+            embedding[0] = 123.0
+
+    def test_mutation_cannot_poison_next_lookup(self, setup):
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder)
+        first = service.embed_plan(plans[0])
+        try:
+            first[:] = 1e9
+        except ValueError:
+            pass                                   # read-only, as required
+        again = service.embed_plan(plans[0])
+        clean = EstimatorService(model, encoder).embed_plan(plans[0])
+        np.testing.assert_array_equal(again, clean)
+
+    def test_node_log_cache_unpoisoned_across_kinds(self, setup):
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder)
+        before = service.predict_plan(plans[0])
+        vector = service.predict_subplans(plans[0])
+        vector[:] = 0.0                            # caller-owned copy only
+        assert service.predict_plan(plans[0]) == pytest.approx(before)
+
+
+class TestInCallDeduplication:
+    """Regression: duplicate plans inside one call each missed and were
+    each encoded + forwarded."""
+
+    def test_duplicates_forward_once(self, setup):
+        model, encoder, _, plans = setup
+
+        calls = {"count": 0, "rows": 0}
+        original_infer = model.infer
+
+        def counting_infer(batch):
+            calls["count"] += 1
+            out = original_infer(batch)
+            calls["rows"] += out.shape[0]
+            return out
+
+        model.infer = counting_infer
+        try:
+            service = EstimatorService(model, encoder, batch_size=64)
+            repeated = [plans[0]] * 10 + [plans[1]] * 5
+            values = service.predict_plans(repeated)
+        finally:
+            model.infer = original_infer
+        assert calls["count"] == 1
+        assert calls["rows"] == 2                  # one row per unique plan
+        assert service.cache_stats.misses == 2
+        assert service.cache_stats.hits == 13
+        np.testing.assert_allclose(values[:10], values[0], rtol=0)
+        np.testing.assert_allclose(
+            values, service.predict_plans(repeated), rtol=1e-12
+        )
+
+    def test_duplicates_match_singleton_prediction(self, setup):
+        model, encoder, _, plans = setup
+        service = EstimatorService(model, encoder, cache_size=0)
+        values = service.predict_plans([plans[0], plans[1], plans[0]])
+        assert values[0] == pytest.approx(values[2], rel=1e-12)
+        assert values[0] == pytest.approx(
+            service.predict_plan(plans[0]), rel=1e-12
+        )
+
+    def test_extra_features_encoder_skips_dedup(self, setup):
+        """Aliased fingerprints must not merge distinct rich-feature
+        plans, mirroring the cache shutdown."""
+        from repro.core import DACEConfig
+
+        _, _, _, plans = setup
+        caught = [catch_plan(p) for p in plans]
+        rich = PlanEncoder(extra_features=True).fit(caught)
+        wide = DACEModel(
+            DACEConfig(input_dim=rich.dim), rng=np.random.default_rng(8)
+        )
+        service = EstimatorService(wide, rich)
+        service.predict_plans([plans[0], plans[0]])
+        assert service.cache_stats.hits == 0
+
+
+class TestEmptyDataset:
+    """Regression: embed_dataset returned shape (0, 0) for an empty
+    dataset, breaking downstream np.hstack consumers."""
+
+    def test_empty_embed_keeps_width(self, setup):
+        from repro.workloads.dataset import PlanDataset
+
+        model, encoder, _, _ = setup
+        service = EstimatorService(model, encoder)
+        empty = service.embed_dataset(PlanDataset(samples=[]))
+        assert empty.shape == (0, model.config.hidden2)
+        stacked = np.hstack([empty, np.empty((0, 3))])
+        assert stacked.shape == (0, model.config.hidden2 + 3)

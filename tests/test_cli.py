@@ -66,11 +66,60 @@ class TestCLI:
             main(["collect", "--db", "nope", "--out",
                   str(tmp_path / "x.jsonl")])
 
+    def test_serve_metrics_and_obs(self, tmp_path, capsys):
+        workload = str(tmp_path / "airline.jsonl")
+        model_dir = str(tmp_path / "model")
+        metrics_path = str(tmp_path / "metrics.jsonl")
+        main(["collect", "--db", "airline", "--count", "40",
+              "--out", workload])
+        main(["train", "--workload", workload, "--out", model_dir,
+              "--epochs", "3"])
+
+        assert main([
+            "serve", "--model", model_dir, "--workload", workload,
+            "--metrics", metrics_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plans/s" in out
+        assert metrics_path in out
+        assert os.path.exists(metrics_path)
+        dump = open(metrics_path).read()
+        for name in ("serve.encode_seconds", "serve.forward_seconds",
+                     "serve.cache.hits", "serve.batch_size",
+                     "batch.flush_size"):
+            assert name in dump
+
+        assert main(["obs", metrics_path]) == 0
+        table = capsys.readouterr().out
+        assert "serve.encode_seconds" in table
+        assert "p99" in table
+
+        assert main(["obs", metrics_path, "--format", "prom"]) == 0
+        prom = capsys.readouterr().out
+        assert "serve_encode_seconds_bucket" in prom
+
+        prom_path = str(tmp_path / "metrics.prom")
+        assert main([
+            "serve", "--model", model_dir, "--workload", workload,
+            "--metrics", prom_path, "--metrics-format", "prom",
+        ]) == 0
+        capsys.readouterr()
+        assert "# TYPE serve_cache_hits counter" in open(prom_path).read()
+
+        table_path = str(tmp_path / "metrics.txt")
+        assert main([
+            "serve", "--model", model_dir, "--workload", workload,
+            "--metrics", table_path, "--metrics-format", "table",
+        ]) == 0
+        capsys.readouterr()
+        assert "-- histograms --" in open(table_path).read()
+
     def test_bench_list(self, capsys):
         assert main(["bench", "list"]) == 0
         out = capsys.readouterr().out
         assert "tab1" in out
         assert "fig07" in out
+        assert "obsoverhead" in out
 
     def test_bench_unknown_experiment(self):
         with pytest.raises(SystemExit):
