@@ -24,6 +24,7 @@ from repro.bench.extra import (
     ablation_capacity,
     ensemble_uncertainty,
 )
+from repro.bench.chaos import chaos_resilience
 from repro.bench.serve import obs_overhead, serve_throughput
 from repro.bench.experiments import (
     fig04_zeroshot_nodes,
@@ -69,4 +70,5 @@ __all__ = [
     "tab2_efficiency",
     "serve_throughput",
     "obs_overhead",
+    "chaos_resilience",
 ]

@@ -160,16 +160,34 @@ _METRIC_EXPORTERS = {
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Replay a workload through the serving runtime and report stats."""
+    import math
     import time
 
-    from repro.serve import MicroBatcher
+    from repro.serve import ChaosEstimator, CostFallback, MicroBatcher, \
+        ResilientEstimator
 
     dace = DACE.load(args.model)
     dataset = _load_many(args.workload)
     plans = [sample.plan for sample in dataset]
     repeats = max(args.repeat, 1)
-    batcher = MicroBatcher(dace, max_batch=args.max_batch)
     dace.service.reset_stats()
+
+    # Chaos replay: inject seeded faults under the resilience tier and
+    # verify the serving path degrades instead of raising.
+    resilient = None
+    estimator = dace.service
+    if args.chaos is not None:
+        estimator = ChaosEstimator.with_fault_rate(
+            estimator, args.chaos, seed=args.chaos_seed
+        )
+    if args.chaos is not None or args.resilient:
+        resilient = ResilientEstimator(
+            estimator,
+            fallback=CostFallback(dace.encoder.scaler),
+            metrics=dace.metrics,
+        )
+        estimator = resilient
+    batcher = MicroBatcher(estimator, max_batch=args.max_batch)
 
     start = time.perf_counter()
     predictions = []
@@ -190,6 +208,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if predictions:
         print(f"latency range: {min(predictions):.3f} .. "
               f"{max(predictions):.3f} ms")
+        finite = sum(1 for value in predictions if math.isfinite(value))
+        if finite != len(predictions):
+            print(f"WARNING: {len(predictions) - finite} non-finite "
+                  f"predictions escaped the serving path")
+    if resilient is not None:
+        degraded = dace.metrics.counter("resilience.degraded").value
+        retries = dace.metrics.counter("resilience.retries").value
+        print(f"resilience: breaker={resilient.breaker.state} "
+              f"retries={retries} degraded={degraded} "
+              f"({resilient.degraded_fraction:.1%} of predictions)")
+        if args.chaos is not None:
+            chaos = resilient.estimator
+            print(f"chaos: fault_rate={args.chaos:.0%} "
+                  f"injected={chaos.injected}")
     if args.metrics:
         report = _METRIC_EXPORTERS[args.metrics_format](dace.metrics)
         with open(args.metrics, "w") as handle:
@@ -233,6 +265,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "cardknowledge": bench.cardinality_knowledge,
         "serving": bench.serve_throughput,
         "obsoverhead": bench.obs_overhead,
+        "chaos": bench.chaos_resilience,
     }
     if args.experiment == "list":
         for name in runners:
@@ -323,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(_METRIC_EXPORTERS), default="json",
                        help="report format (json round-trips via "
                             "'repro obs')")
+    serve.add_argument("--chaos", type=float, default=None, metavar="RATE",
+                       help="inject seeded faults (errors/NaN/latency) at "
+                            "this rate and serve through the resilience "
+                            "tier")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for the chaos fault schedule")
+    serve.add_argument("--resilient", action="store_true",
+                       help="wrap serving in the retry/breaker/fallback "
+                            "tier even without --chaos")
     serve.set_defaults(func=_cmd_serve)
 
     obs = sub.add_parser(
@@ -341,7 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["list", "fig04", "fig05", "tab1", "fig06", "tab2", "fig07",
                  "fig08", "fig09", "fig10", "fig11", "fig12", "alpha",
                  "capacity", "ensemble", "apps", "taxonomy",
-                 "cardknowledge", "serving", "obsoverhead"],
+                 "cardknowledge", "serving", "obsoverhead", "chaos"],
     )
     bench.add_argument("--scale", choices=["smoke", "default", "paper"],
                        default="smoke")

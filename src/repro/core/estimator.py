@@ -25,6 +25,7 @@ from repro.engine.plan import PlanNode
 from repro.featurize.encoder import PlanEncoder
 from repro.featurize.loss_weights import DEFAULT_ALPHA
 from repro.obs import MetricsRegistry
+from repro.serve.resilience import CostFallback, ResilientEstimator
 from repro.serve.service import EstimatorService
 from repro.workloads.dataset import PlanDataset
 
@@ -45,6 +46,7 @@ class DACE:
         alpha: float = DEFAULT_ALPHA,
         card_source: str = "estimated",
         seed: int = 0,
+        resilient: bool = False,
     ) -> None:
         # Defaults are constructed per instance: a def-time default would
         # be one shared (mutable) config across every DACE ever built.
@@ -66,6 +68,11 @@ class DACE:
             self.model, self.encoder, batch_size=self.training.batch_size,
             metrics=self.metrics,
         )
+        # With resilient=True every predict* call goes through the
+        # degradation tiers (retry -> breaker -> optimizer-cost fallback)
+        # instead of propagating serving-path exceptions to the caller.
+        self._resilient = resilient
+        self.estimator = self.resilient() if resilient else self.service
 
     # ------------------------------------------------------------------ #
     # Pre-training & inference
@@ -85,19 +92,31 @@ class DACE:
 
     def predict(self, dataset: PlanDataset) -> np.ndarray:
         """Predicted latency (ms) per plan; no database knowledge needed."""
-        return self.service.predict(dataset)
+        return self.estimator.predict(dataset)
 
     def predict_plan(self, plan: PlanNode) -> float:
         """Predicted latency (ms) for a single plan."""
-        return self.service.predict_plan(plan)
+        return self.estimator.predict_plan(plan)
 
     def predict_plans(self, plans: Sequence[PlanNode]) -> np.ndarray:
         """Predicted latency (ms) per plan, batched."""
-        return self.service.predict_plans(plans)
+        return self.estimator.predict_plans(plans)
 
     def predict_subplans(self, plan: PlanNode) -> np.ndarray:
         """Predicted latency (ms) for every sub-plan, in DFS order."""
         return self.service.predict_subplans(plan)
+
+    def resilient(self, **kwargs) -> ResilientEstimator:
+        """A fault-tolerant view of this estimator's serving path.
+
+        The fallback tier reuses the encoder's fitted robust scaler so a
+        degraded answer (the optimizer's own cost estimate) lands in the
+        same log-latency space the model predicts in; metrics land on
+        ``self.metrics`` unless overridden.
+        """
+        kwargs.setdefault("fallback", CostFallback(self.encoder.scaler))
+        kwargs.setdefault("metrics", self.metrics)
+        return ResilientEstimator(self.service, **kwargs)
 
     # ------------------------------------------------------------------ #
     # LoRA fine-tuning (across-more, paper Sec. IV-D)
@@ -163,6 +182,7 @@ class DACE:
             "card_source": self.encoder.card_source,
             "seed": self.seed,
             "lora_enabled": self.model.lora_enabled,
+            "resilient": self._resilient,
         }
         with open(os.path.join(path, "meta.json"), "w") as handle:
             json.dump(meta, handle, indent=2)
@@ -186,6 +206,7 @@ class DACE:
             alpha=meta["alpha"],
             card_source=meta.get("card_source", "estimated"),
             seed=meta["seed"],
+            resilient=meta.get("resilient", False),
         )
         with np.load(os.path.join(path, "weights.npz")) as archive:
             state = {name: archive[name] for name in archive.files}

@@ -1,4 +1,4 @@
-"""The serving runtime: batched, cached, graph-free inference.
+"""The serving runtime: batched, cached, graph-free, fault-tolerant inference.
 
 Everything downstream of a trained model goes through this package:
 
@@ -8,15 +8,39 @@ Everything downstream of a trained model goes through this package:
   encoder behind the protocol with an LRU fingerprint cache and
   batch-sorted, no-graph inference;
 - :class:`~repro.serve.batching.MicroBatcher` — coalesces single-plan
-  call sites into batched inference;
+  call sites into batched inference, with per-handle error propagation
+  and a queue-staleness flush deadline;
+- :class:`~repro.serve.resilience.ResilientEstimator` — deadlines,
+  bounded retries with deterministic jitter, a circuit breaker, and a
+  final optimizer-cost degradation tier (:class:`~repro.serve.resilience.
+  CostFallback`) so serving never raises;
+- :class:`~repro.serve.chaos.ChaosEstimator` /
+  :class:`~repro.serve.chaos.ChaosEncoder` — seeded fault injection
+  (errors, NaN outputs, latency spikes) for chaos testing and the
+  ``serve --chaos`` replay mode;
 - :class:`~repro.serve.registry.ModelRegistry` — hot-swaps
   LoRA-fine-tuned adapter sets keyed by deployment tag.
 """
 
 from repro.serve.batching import MicroBatcher, PendingPrediction
 from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.chaos import (
+    ChaosConfig,
+    ChaosEncoder,
+    ChaosEstimator,
+    InjectedFault,
+)
 from repro.serve.estimator import Estimator, as_plan_scorers, resolve_predictions
 from repro.serve.registry import ModelRegistry
+from repro.serve.resilience import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    CostFallback,
+    PredictionError,
+    ResilientEstimator,
+)
 from repro.serve.service import EstimatorService
 
 __all__ = [
@@ -27,6 +51,17 @@ __all__ = [
     "ModelRegistry",
     "LRUCache",
     "CacheStats",
+    "CircuitBreaker",
+    "CostFallback",
+    "PredictionError",
+    "ResilientEstimator",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "ChaosConfig",
+    "ChaosEncoder",
+    "ChaosEstimator",
+    "InjectedFault",
     "as_plan_scorers",
     "resolve_predictions",
 ]

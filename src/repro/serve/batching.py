@@ -5,17 +5,27 @@ advisors, per-query admission control) leave batch efficiency on the
 table.  :class:`MicroBatcher` restores it without restructuring the
 caller: ``submit`` enqueues a plan and returns a
 :class:`PendingPrediction`; nothing runs until the batch fills
-(``max_batch``), ``flush`` is called, or a pending result is read — at
-which point *all* queued plans go through one batched ``predict_plans``
-call.
+(``max_batch``), the oldest queued plan exceeds ``flush_deadline_s``,
+``flush`` is called, or a pending result is read — at which point *all*
+queued plans go through one batched ``predict_plans`` call.
 
 The degenerate pattern ``submit(plan).result()`` still works (it just
 flushes a batch of one), so a MicroBatcher can be dropped in front of any
 Estimator unconditionally.
+
+**Failure semantics:** when the underlying estimator raises mid-flush,
+every handle in that batch is *resolved with the exception* — reading it
+re-raises — and the queue is cleared.  The failed plans are never
+silently requeued: requeueing meant a later, unrelated ``submit`` could
+blow up on stale state, and a permanently-broken estimator turned
+``result()`` into an infinite retry.  Callers that want retries put a
+:class:`~repro.serve.resilience.ResilientEstimator` *under* the batcher,
+which retries (and ultimately degrades) inside one flush instead.
 """
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -25,27 +35,51 @@ from repro.obs import MetricsRegistry
 
 
 class PendingPrediction:
-    """Handle for a submitted plan; reading it forces a flush."""
+    """Handle for a submitted plan; reading it forces a flush.
 
-    __slots__ = ("_batcher", "_value")
+    A handle is *done* once its flush ran — either resolved with a value
+    (``result()`` returns it) or rejected with the flush's exception
+    (``result()`` raises it; ``exception()`` exposes it without raising).
+    """
+
+    __slots__ = ("_batcher", "_value", "_error")
 
     def __init__(self, batcher: "MicroBatcher") -> None:
         self._batcher = batcher
         self._value: Optional[float] = None
+        self._error: Optional[BaseException] = None
 
     @property
     def done(self) -> bool:
-        return self._value is not None
+        return self._value is not None or self._error is not None
+
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+    def exception(self) -> Optional[BaseException]:
+        """The rejection cause, or None while pending / after success."""
+        return self._error
 
     def result(self) -> float:
-        """Predicted latency (ms), flushing the queue if still pending."""
-        if self._value is None:
+        """Predicted latency (ms), flushing the queue if still pending.
+
+        Cannot hang: the flush either resolves this handle with a value
+        or rejects it with the estimator's exception, which is re-raised
+        here (and on every later call).
+        """
+        if not self.done:
             self._batcher.flush()
+        if self._error is not None:
+            raise self._error
         assert self._value is not None
         return self._value
 
     def _resolve(self, value: float) -> None:
         self._value = value
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
 
 
 class MicroBatcher:
@@ -54,6 +88,12 @@ class MicroBatcher:
     Speaks the Estimator protocol itself, so it can stand wherever an
     estimator is expected while transparently batching whatever single-plan
     traffic reaches it.
+
+    ``flush_deadline_s`` bounds queue staleness: a ``submit`` arriving
+    after the oldest queued plan has waited that long triggers a flush
+    even if the batch is not full (there is no background thread — the
+    deadline is checked on submission, and ``result()`` always forces a
+    flush regardless).
     """
 
     def __init__(
@@ -61,11 +101,20 @@ class MicroBatcher:
         estimator,
         max_batch: int = 64,
         metrics: Optional[MetricsRegistry] = None,
+        flush_deadline_s: Optional[float] = None,
+        clock=time.monotonic,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if flush_deadline_s is not None and flush_deadline_s < 0:
+            raise ValueError(
+                f"flush_deadline_s must be >= 0, got {flush_deadline_s}"
+            )
         self.estimator = estimator
         self.max_batch = max_batch
+        self.flush_deadline_s = flush_deadline_s
+        self._clock = clock
+        self._oldest_enqueued: Optional[float] = None
         self._plans: List[PlanNode] = []
         self._handles: List[PendingPrediction] = []
         self.batches_run = 0
@@ -87,6 +136,17 @@ class MicroBatcher:
         self._plans_total = self.metrics.counter(
             "batch.plans", help="plans submitted through the batcher"
         )
+        self._failed_flushes = self.metrics.counter(
+            "batch.failed_flushes", help="flushes aborted by the estimator"
+        )
+        self._rejected = self.metrics.counter(
+            "batch.rejected_plans",
+            help="pending predictions resolved with an exception",
+        )
+        self._deadline_flushes = self.metrics.counter(
+            "batch.deadline_flushes",
+            help="flushes triggered by the queue-staleness deadline",
+        )
         self._coalescing = self.metrics.gauge(
             "batch.coalescing_ratio", help="mean plans per flush so far"
         )
@@ -96,36 +156,62 @@ class MicroBatcher:
     def pending(self) -> int:
         return len(self._plans)
 
+    def _deadline_reached(self) -> bool:
+        return (
+            self.flush_deadline_s is not None
+            and self._oldest_enqueued is not None
+            and self._clock() - self._oldest_enqueued >= self.flush_deadline_s
+        )
+
     def submit(self, plan: PlanNode) -> PendingPrediction:
-        """Queue one plan; auto-flushes when the batch fills."""
+        """Queue one plan; auto-flushes on a full batch or stale queue.
+
+        Never raises on estimator failure: when an auto-flush fails, the
+        error is delivered through the affected handles (this one
+        included) instead of at whichever caller happened to tip the
+        batch over the edge.
+        """
         handle = PendingPrediction(self)
+        if not self._plans:
+            self._oldest_enqueued = self._clock()
         self._plans.append(plan)
         self._handles.append(handle)
         self._plans_total.inc()
         self._queue_depth.set(len(self._plans))
         if len(self._plans) >= self.max_batch:
-            self.flush()
+            self._try_flush()
+        elif self._deadline_reached():
+            self._deadline_flushes.inc()
+            self._try_flush()
         return handle
+
+    def _try_flush(self) -> None:
+        try:
+            self.flush()
+        except Exception:
+            pass  # already delivered through each rejected handle
 
     def flush(self) -> None:
         """Run one batched inference over everything queued.
 
-        If the underlying estimator raises, the queue is restored intact
-        (same order, ahead of anything submitted later) and the exception
-        propagates: no submitted plan is ever dropped, and every handle
-        stays pending so a retried ``flush``/``result`` can still resolve
-        it.
+        If the underlying estimator raises, every queued handle is
+        rejected with that exception (``result()`` re-raises it), the
+        queue is cleared, and the exception propagates to the direct
+        caller.  Plans submitted *during* a failing flush are untouched.
         """
         if not self._plans:
             return
         plans, handles = self._plans, self._handles
         self._plans, self._handles = [], []
+        self._oldest_enqueued = None
         try:
             with self.metrics.timer("batch.flush_seconds"):
                 values = self.estimator.predict_plans(plans)
-        except Exception:
-            self._plans = plans + self._plans
-            self._handles = handles + self._handles
+        except Exception as error:
+            for handle in handles:
+                handle._reject(error)
+            self._failed_flushes.inc()
+            self._rejected.inc(len(handles))
             self._queue_depth.set(len(self._plans))
             raise
         for handle, value in zip(handles, values):

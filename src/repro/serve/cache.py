@@ -30,7 +30,7 @@ class CacheStats:
     registry — pass one in to fold cache accounting into a wider report.
     """
 
-    __slots__ = ("_hits", "_misses", "_evictions")
+    __slots__ = ("_hits", "_misses", "_evictions", "_rejected")
 
     def __init__(
         self,
@@ -47,6 +47,10 @@ class CacheStats:
         self._evictions = registry.counter(
             f"{prefix}.evictions", help="entries dropped by LRU pressure"
         )
+        self._rejected = registry.counter(
+            f"{prefix}.rejected",
+            help="values refused by validation (NaN/inf), never cached",
+        )
 
     @property
     def hits(self) -> int:
@@ -59,6 +63,10 @@ class CacheStats:
     @property
     def evictions(self) -> int:
         return self._evictions.value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
 
     @property
     def lookups(self) -> int:
@@ -79,14 +87,19 @@ class CacheStats:
     def record_eviction(self) -> None:
         self._evictions.inc()
 
+    def record_rejection(self) -> None:
+        self._rejected.inc()
+
     def reset(self) -> None:
         self._hits.reset()
         self._misses.reset()
         self._evictions.reset()
+        self._rejected.reset()
 
     def __str__(self) -> str:
         return (f"hits={self.hits} misses={self.misses} "
-                f"evictions={self.evictions} hit_rate={self.hit_rate:.1%}")
+                f"evictions={self.evictions} rejected={self.rejected} "
+                f"hit_rate={self.hit_rate:.1%}")
 
 
 class LRUCache:

@@ -177,9 +177,15 @@ class EstimatorService:
                         value = extract(output, row, caught[index])
                         value.flags.writeable = False
                         results[index] = value
-                        self._cache.put(
-                            (kind, caught[index].fingerprint()), value
-                        )
+                        # Validate before insert: a NaN/inf prediction must
+                        # never become a sticky cache entry that keeps
+                        # answering long after the fault has passed.
+                        if np.all(np.isfinite(value)):
+                            self._cache.put(
+                                (kind, caught[index].fingerprint()), value
+                            )
+                        else:
+                            self._cache.stats.record_rejection()
                         for dup in duplicates.get(index, ()):
                             results[dup] = value
         return results  # type: ignore[return-value]

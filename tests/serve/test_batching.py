@@ -80,55 +80,116 @@ class _FlakyEstimator:
         return self._estimator.predict_plans(plans)
 
 
-class TestFlushFailureRecovery:
-    """Regression: a mid-flush exception used to drop every queued plan
-    and leave every handle permanently unresolvable."""
+class TestFlushFailurePropagation:
+    """Regression: a mid-flush exception used to silently *requeue* the
+    batch — a later, unrelated ``submit`` could then blow up on stale
+    state, and with a permanently-broken estimator ``result()`` retried
+    forever.  Failed flushes now reject every affected handle with the
+    estimator's exception and clear the queue."""
 
-    def test_queue_restored_on_failure(self, service_and_plans):
+    def test_failed_flush_rejects_all_handles(self, service_and_plans):
         service, plans = service_and_plans
         batcher = MicroBatcher(_FlakyEstimator(service), max_batch=64)
         handles = [batcher.submit(plan) for plan in plans[:6]]
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="transient"):
             batcher.flush()
-        assert batcher.pending == 6              # nothing was dropped
-        assert not any(handle.done for handle in handles)
-        assert batcher.batches_run == 0
+        assert batcher.pending == 0              # queue cleared, not requeued
+        assert all(handle.done for handle in handles)
+        assert all(handle.failed for handle in handles)
+        for handle in handles:
+            assert isinstance(handle.exception(), RuntimeError)
+            with pytest.raises(RuntimeError, match="transient"):
+                handle.result()
+        assert batcher.metrics.counter("batch.failed_flushes").value == 1
+        assert batcher.metrics.counter("batch.rejected_plans").value == 6
 
-    def test_retry_resolves_every_handle(self, service_and_plans):
+    def test_result_raises_instead_of_hanging(self, service_and_plans):
         service, plans = service_and_plans
-        batcher = MicroBatcher(_FlakyEstimator(service), max_batch=64)
-        handles = [batcher.submit(plan) for plan in plans[:6]]
-        with pytest.raises(RuntimeError):
-            batcher.flush()
-        batcher.flush()                          # backend recovered
-        values = np.array([handle.result() for handle in handles])
-        np.testing.assert_allclose(
-            values, service.predict_plans(plans[:6]), rtol=1e-12
-        )
-
-    def test_result_retry_after_failure(self, service_and_plans):
-        service, plans = service_and_plans
-        batcher = MicroBatcher(_FlakyEstimator(service), max_batch=64)
+        broken = _FlakyEstimator(service, failures=10**9)
+        batcher = MicroBatcher(broken, max_batch=64)
         handle = batcher.submit(plans[0])
         with pytest.raises(RuntimeError):
             handle.result()
-        assert not handle.done
-        assert handle.result() == pytest.approx(
-            service.predict_plan(plans[0])
+        # Re-reading re-raises the stored error; it never retries forever.
+        with pytest.raises(RuntimeError):
+            handle.result()
+        assert broken.calls == 1
+
+    def test_submit_never_raises_stale_errors(self, service_and_plans):
+        """The auto-flush tripped by one caller's submit must not raise at
+        that caller — the error belongs to the queued handles."""
+        service, plans = service_and_plans
+        batcher = MicroBatcher(_FlakyEstimator(service), max_batch=3)
+        handles = [batcher.submit(plan) for plan in plans[:3]]  # no raise
+        assert all(handle.failed for handle in handles)
+        # The batcher stays usable: the next batch succeeds cleanly.
+        fresh = [batcher.submit(plan) for plan in plans[3:6]]
+        values = np.array([handle.result() for handle in fresh])
+        np.testing.assert_allclose(
+            values, service.predict_plans(plans[3:6]), rtol=1e-12
         )
 
-    def test_submissions_after_failure_keep_order(self, service_and_plans):
+    def test_submissions_during_failure_are_isolated(self, service_and_plans):
         service, plans = service_and_plans
         batcher = MicroBatcher(_FlakyEstimator(service), max_batch=64)
         first = batcher.submit(plans[0])
         with pytest.raises(RuntimeError):
             batcher.flush()
-        second = batcher.submit(plans[1])
+        second = batcher.submit(plans[1])        # after recovery
         batcher.flush()
-        assert first.result() == pytest.approx(service.predict_plan(plans[0]))
+        assert first.failed
         assert second.result() == pytest.approx(
             service.predict_plan(plans[1])
         )
+
+    def test_exception_accessor_is_none_on_success(self, service_and_plans):
+        service, plans = service_and_plans
+        batcher = MicroBatcher(service, max_batch=64)
+        handle = batcher.submit(plans[0])
+        assert handle.exception() is None        # pending
+        batcher.flush()
+        assert handle.exception() is None        # resolved
+        assert not handle.failed
+
+
+class TestFlushDeadline:
+    class _Clock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    def test_stale_queue_flushes_on_submit(self, service_and_plans):
+        service, plans = service_and_plans
+        clock = self._Clock()
+        batcher = MicroBatcher(
+            service, max_batch=64, flush_deadline_s=0.5, clock=clock
+        )
+        first = batcher.submit(plans[0])
+        assert not first.done
+        clock.now = 0.6
+        second = batcher.submit(plans[1])
+        assert first.done and second.done
+        assert batcher.metrics.counter("batch.deadline_flushes").value == 1
+
+    def test_fresh_queue_keeps_coalescing(self, service_and_plans):
+        service, plans = service_and_plans
+        clock = self._Clock()
+        batcher = MicroBatcher(
+            service, max_batch=64, flush_deadline_s=5.0, clock=clock
+        )
+        handles = []
+        for i, plan in enumerate(plans[:4]):
+            clock.now = i * 0.1                  # well under the deadline
+            handles.append(batcher.submit(plan))
+        assert batcher.pending == 4
+        assert not any(handle.done for handle in handles)
+
+    def test_deadline_validated(self, service_and_plans):
+        service, _ = service_and_plans
+        with pytest.raises(ValueError):
+            MicroBatcher(service, flush_deadline_s=-1.0)
 
 
 class TestEstimatorFacade:

@@ -1,0 +1,94 @@
+"""Golden zero-shot regression: serving output pinned to a checked-in file.
+
+A fixed-seed workload is trained and predicted with fixed seeds; the
+predictions live in ``tests/data/golden_serve.npz``.  Any change to the
+encoder, model, trainer, or serving path that shifts predictions shows up
+here as a diff against the golden file — regenerate deliberately with::
+
+    PYTHONPATH=src python tests/serve/test_golden.py
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.catalog import load_database
+from repro.core import DACE, TrainingConfig
+from repro.obs import MetricsRegistry
+from repro.serve import ChaosEstimator, CostFallback, ResilientEstimator
+from repro.sql.generator import QueryGenerator, WorkloadSpec
+from repro.workloads.dataset import collect_workload
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "data", "golden_serve.npz"
+)
+_SPEC = WorkloadSpec(max_joins=2, max_predicates=3, min_predicates=1)
+
+
+def _collect(name, count, seed):
+    database = load_database(name)
+    queries = QueryGenerator(database, _SPEC, seed=seed).generate_many(count)
+    return collect_workload(database, queries, seed=seed)
+
+
+def _build():
+    """Train the fixed-seed model and predict the fixed-seed test plans."""
+    train = _collect("airline", 40, seed=3)
+    test = _collect("movielens", 20, seed=4)
+    dace = DACE(training=TrainingConfig(epochs=3, batch_size=32), seed=11)
+    dace.fit(train)
+    plans = [sample.plan for sample in test]
+    return dace, plans, dace.predict_plans(plans)
+
+
+@pytest.fixture(scope="module")
+def golden_setup():
+    return _build()
+
+
+class TestGoldenServe:
+    def test_golden_file_exists(self):
+        assert os.path.exists(GOLDEN_PATH), (
+            "regenerate with: PYTHONPATH=src python tests/serve/test_golden.py"
+        )
+
+    def test_predictions_match_golden(self, golden_setup):
+        _, _, predictions = golden_setup
+        golden = np.load(GOLDEN_PATH)["predictions"]
+        assert predictions.shape == golden.shape
+        np.testing.assert_allclose(predictions, golden, rtol=1e-7)
+
+    def test_resilient_wrapper_matches_golden(self, golden_setup):
+        """Tier-1 healthy path through the full resilience stack is
+        bit-identical to the bare model — the wrapper adds no noise."""
+        dace, plans, predictions = golden_setup
+        resilient = ResilientEstimator(
+            ChaosEstimator.with_fault_rate(
+                dace.service, 0.0, seed=0, sleep=lambda _s: None
+            ),
+            fallback=CostFallback(dace.encoder.scaler),
+            metrics=MetricsRegistry(),
+            sleep=lambda _s: None,
+        )
+        np.testing.assert_array_equal(
+            resilient.predict_plans(plans), predictions
+        )
+        assert not resilient.last_degraded.any()
+
+    def test_golden_values_are_sane(self):
+        golden = np.load(GOLDEN_PATH)["predictions"]
+        assert np.all(np.isfinite(golden))
+        assert np.all(golden > 0)
+
+
+def regenerate():
+    _, _, predictions = _build()
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    np.savez_compressed(GOLDEN_PATH, predictions=predictions)
+    print(f"wrote {GOLDEN_PATH}: shape={predictions.shape}, "
+          f"mean={predictions.mean():.6g}")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -269,3 +269,68 @@ class TestEmptyDataset:
         assert empty.shape == (0, model.config.hidden2)
         stacked = np.hstack([empty, np.empty((0, 3))])
         assert stacked.shape == (0, model.config.hidden2 + 3)
+
+
+class _NaNOnceModel:
+    """model.infer poisons its first forward with NaN, then recovers."""
+
+    def __init__(self, value: float = 2.0) -> None:
+        self.value = value
+        self.forwards = 0
+
+    def infer(self, batch) -> np.ndarray:
+        self.forwards += 1
+        out = np.full(
+            (batch.features.shape[0], batch.features.shape[1]), self.value
+        )
+        if self.forwards == 1:
+            out[:] = np.nan
+        return out
+
+
+class TestNaNCacheRejection:
+    """Regression: a transiently-NaN model output used to be cached by
+    fingerprint, so the poisoned value kept answering from the cache long
+    after the model had recovered."""
+
+    def test_nan_is_never_cached(self, setup):
+        _, encoder, _, plans = setup
+        model = _NaNOnceModel()
+        service = EstimatorService(model, encoder)
+        first = service.predict_plan(plans[0])
+        assert np.isnan(first)                    # fault surfaced, not hidden
+        assert service.cache_size == 0            # ...but never stored
+        assert service.cache_stats.rejected == 1
+
+    def test_recovery_is_not_masked_by_poisoned_entry(self, setup):
+        _, encoder, _, plans = setup
+        model = _NaNOnceModel(value=3.0)
+        service = EstimatorService(model, encoder)
+        assert np.isnan(service.predict_plan(plans[0]))
+        second = service.predict_plan(plans[0])   # model has recovered
+        assert second == pytest.approx(np.exp(3.0))
+        assert model.forwards == 2                # re-ran: no sticky entry
+        assert service.cache_size == 1            # finite value now cached
+
+    def test_partial_batch_rejects_only_nan_rows(self, setup):
+        _, encoder, _, plans = setup
+
+        class RowNaNModel:
+            def infer(self, batch):
+                out = np.ones((batch.features.shape[0],
+                               batch.features.shape[1]))
+                out[0] = np.nan                    # poison one plan per batch
+                return out
+
+        service = EstimatorService(RowNaNModel(), encoder, batch_size=64)
+        values = service.predict_plans(plans[:4])
+        assert np.isnan(values).sum() == 1
+        assert service.cache_size == 3             # finite rows cached
+        assert service.cache_stats.rejected == 1
+
+    def test_rejected_counter_in_registry(self, setup):
+        _, encoder, _, plans = setup
+        service = EstimatorService(_NaNOnceModel(), encoder)
+        service.predict_plan(plans[0])
+        assert service.metrics.counter("serve.cache.rejected").value == 1
+        assert "rejected=1" in str(service.cache_stats)

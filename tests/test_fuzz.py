@@ -164,3 +164,142 @@ class TestEndToEndFuzz:
             sql = render_sql(query)
             parsed = parse_query(sql)
             assert render_sql(parsed) == sql
+
+
+# ---------------------------------------------------------------------- #
+# Resilience under chaos: random plan trees, random fault schedules
+# ---------------------------------------------------------------------- #
+from repro.engine.plan import NODE_TYPES, PlanNode  # noqa: E402
+from repro.serve import (  # noqa: E402
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    ChaosEstimator,
+    CircuitBreaker,
+    CostFallback,
+    ResilientEstimator,
+)
+from repro.obs import MetricsRegistry  # noqa: E402
+
+_LEAF_TYPES = [t for t in NODE_TYPES if "Scan" in t] + ["Result"]
+_INNER_TYPES = [t for t in NODE_TYPES if "Scan" not in t and t != "Result"]
+
+
+@st.composite
+def random_plan_trees(draw, max_depth=4):
+    """A structurally-valid plan tree with random shapes and estimates."""
+
+    def build(depth):
+        cost = draw(st.floats(min_value=0.0, max_value=1e9,
+                              allow_nan=False, allow_infinity=False))
+        rows = draw(st.floats(min_value=0.0, max_value=1e8,
+                              allow_nan=False, allow_infinity=False))
+        if depth >= max_depth or draw(st.booleans()):
+            return PlanNode(draw(st.sampled_from(_LEAF_TYPES)),
+                            est_rows=rows, est_cost=cost)
+        children = [build(depth + 1)
+                    for _ in range(draw(st.integers(1, 2)))]
+        return PlanNode(draw(st.sampled_from(_INNER_TYPES)),
+                        est_rows=rows, est_cost=cost, children=children)
+
+    return build(0)
+
+
+class _FuzzClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+class _RootCostStub:
+    """Answers est_cost + 1 per plan; the chaos wrapper supplies faults."""
+
+    def predict_plans(self, plans):
+        return np.array([p.est_cost + 1.0 for p in plans])
+
+
+def _chaos_stack(fault_rate, seed, clock):
+    metrics = MetricsRegistry()
+    resilient = ResilientEstimator(
+        ChaosEstimator.with_fault_rate(
+            _RootCostStub(), fault_rate, seed=seed, sleep=clock.sleep
+        ),
+        fallback=CostFallback(),
+        metrics=metrics,
+        breaker=CircuitBreaker(clock=clock, metrics=metrics,
+                               reset_timeout_s=1.0),
+        clock=clock,
+        sleep=clock.sleep,
+        seed=seed,
+    )
+    return resilient
+
+
+class TestResilienceFuzz:
+    """Round-trip random plan trees through the fault-injected serving
+    stack: outputs stay finite, the breaker stays in a legal state, and
+    the whole run is a deterministic function of the seed."""
+
+    @given(
+        plans=st.lists(random_plan_trees(), min_size=1, max_size=8),
+        fault_rate=st.floats(min_value=0.0, max_value=1.0,
+                             allow_nan=False, allow_infinity=False),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @FUZZ_SETTINGS
+    def test_outputs_finite_and_breaker_legal(self, plans, fault_rate, seed):
+        clock = _FuzzClock()
+        resilient = _chaos_stack(fault_rate, seed, clock)
+        for plan in plans:
+            values, degraded = resilient.predict_plans_detailed([plan])
+            assert np.all(np.isfinite(values))
+            assert np.all(values > 0)
+            assert degraded.shape == (1,)
+            assert resilient.breaker.state in (
+                STATE_CLOSED, STATE_OPEN, STATE_HALF_OPEN
+            )
+            assert 0.0 <= resilient.breaker.failure_rate <= 1.0
+        metrics = resilient.metrics
+        assert (metrics.counter("resilience.predictions").value
+                == len(plans))
+        assert (metrics.counter("resilience.degraded").value
+                <= len(plans))
+        assert 0.0 <= resilient.degraded_fraction <= 1.0
+
+    @given(
+        plans=st.lists(random_plan_trees(), min_size=1, max_size=6),
+        fault_rate=st.floats(min_value=0.0, max_value=1.0,
+                             allow_nan=False, allow_infinity=False),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @FUZZ_SETTINGS
+    def test_same_seed_is_bit_identical(self, plans, fault_rate, seed):
+        runs = []
+        for _ in range(2):
+            clock = _FuzzClock()
+            resilient = _chaos_stack(fault_rate, seed, clock)
+            values = np.concatenate(
+                [resilient.predict_plans([plan]) for plan in plans]
+            )
+            runs.append((values, resilient.breaker.state,
+                         resilient.metrics.counter(
+                             "resilience.degraded").value))
+        np.testing.assert_array_equal(runs[0][0], runs[1][0])
+        assert runs[0][1] == runs[1][1]
+        assert runs[0][2] == runs[1][2]
+
+    @given(plans=st.lists(random_plan_trees(), min_size=1, max_size=8))
+    @FUZZ_SETTINGS
+    def test_zero_rate_is_passthrough(self, plans):
+        clock = _FuzzClock()
+        resilient = _chaos_stack(0.0, 0, clock)
+        got = resilient.predict_plans(plans)
+        expected = _RootCostStub().predict_plans(plans)
+        np.testing.assert_array_equal(got, expected)
+        assert not resilient.last_degraded.any()
+        assert clock.now == 0.0                   # never slept
