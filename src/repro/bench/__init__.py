@@ -25,7 +25,8 @@ from repro.bench.extra import (
     ensemble_uncertainty,
 )
 from repro.bench.chaos import chaos_resilience
-from repro.bench.serve import obs_overhead, serve_throughput
+from repro.bench.serve import obs_overhead, serve_concurrency, \
+    serve_throughput
 from repro.bench.experiments import (
     fig04_zeroshot_nodes,
     fig05_overall_accuracy,
@@ -69,6 +70,7 @@ __all__ = [
     "tab1_workload3",
     "tab2_efficiency",
     "serve_throughput",
+    "serve_concurrency",
     "obs_overhead",
     "chaos_resilience",
 ]

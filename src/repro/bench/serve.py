@@ -16,8 +16,11 @@ loop (encode one plan, run one autograd forward, repeat):
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import List
+
+import numpy as np
 
 from repro.bench.cache import get_workload1, pretrain_dace
 from repro.bench.config import DEFAULT, BenchScale
@@ -25,7 +28,8 @@ from repro.featurize.catcher import catch_plan
 from repro.metrics.tables import format_table
 from repro.nn import no_grad
 from repro.obs import NULL_REGISTRY, MetricsRegistry
-from repro.serve import EstimatorService, MicroBatcher
+from repro.serve import ConcurrentEstimatorService, EstimatorService, \
+    MicroBatcher
 
 
 def _legacy_predict_plan(model, encoder, plan) -> float:
@@ -113,6 +117,173 @@ def serve_throughput(scale: BenchScale = DEFAULT) -> dict:
         "batched_speedup": batched_qps / single_qps,
         "cached_speedup": cached_qps / single_qps,
         "cache_hit_rate": stats.hit_rate,
+    }
+
+
+def serve_concurrency(scale: BenchScale = DEFAULT) -> dict:
+    """Closed-loop concurrent throughput through the worker-pool front-end.
+
+    For each worker count, that many closed-loop clients hammer a
+    :class:`~repro.serve.ConcurrentEstimatorService` with single-plan
+    calls — the concurrency level *is* the offered batch opportunity, so
+    this measures what dynamic batching converts contention into.  Two
+    workloads: **cache-miss** (``cache_size=0``; every request pays
+    encode + forward, coalescing is the only lever) and **cache-hit** (a
+    pre-warmed fingerprint LRU; the pool only adds queue handoff).
+
+    Every cache-miss run's predictions are checked byte-for-byte against
+    the plain serial ``EstimatorService`` — the padding buckets make
+    coalesced batches bit-identical to the serial path, whatever the
+    request interleaving.
+
+    Measurement notes.  The workload keeps only plans in the service's
+    base padding bucket, so every request does identical padded work and
+    each flush is exactly one forward — the comparison isolates request
+    coalescing instead of mixing in the workload's bucket composition.
+    The headline ``miss_speedup_8`` uses interleaved measurement pairs
+    (w=1 then w=8, each the best of two passes, median ratio across
+    pairs): machine-wide slowdowns hit both sides of a pair and cancel,
+    where a single w=1/w=8 comparison taken seconds apart would not.
+    The garbage collector is paused while the clock runs — a gen-0 sweep
+    landing inside one side of a pair is pure noise.
+    """
+    import gc
+    import statistics
+
+    from repro.featurize.catcher import catch_plan
+    from repro.serve.service import DEFAULT_PAD_BASE
+
+    dace = pretrain_dace(scale, exclude="imdb")
+    base = get_workload1(scale)["imdb"]
+    # One padding bucket: identical per-request work (see docstring).
+    bucket_plans = [
+        sample.plan for sample in base
+        if catch_plan(sample.plan).num_nodes <= DEFAULT_PAD_BASE
+    ]
+    base_plans = bucket_plans or [sample.plan for sample in base]
+    # Longer runs than the other serving benches: the paired-ratio
+    # protocol divides two noisy timings, so each side needs enough work
+    # for scheduler hiccups to average out.
+    n_plans = min(1200, max(10 * scale.queries_per_db,
+                            10 * len(base_plans)))
+    plans = [base_plans[i % len(base_plans)] for i in range(n_plans)]
+    batch_size = dace.training.batch_size
+
+    serial = EstimatorService(
+        dace.model, dace.encoder, batch_size=batch_size, cache_size=0,
+    )
+    reference = serial.predict_plans(plans)
+
+    def run_clients(pool, workers) -> tuple:
+        out = [0.0] * n_plans
+        # workers + 1: the main thread joins the barrier too, so the
+        # clock starts when every client is spawned and ready — thread
+        # start-up cost stays off the measurement.
+        barrier = threading.Barrier(workers + 1)
+
+        def client(offset: int) -> None:
+            barrier.wait()
+            for i in range(offset, n_plans, workers):
+                out[i] = pool.predict_plan(plans[i])
+
+        clients = [
+            threading.Thread(target=client, args=(offset,))
+            for offset in range(workers)
+        ]
+        for thread in clients:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in clients:
+            thread.join()
+        return time.perf_counter() - start, out
+
+    def make_pool(workers: int, warm: bool) -> ConcurrentEstimatorService:
+        cache = max(len(base_plans), 1) if warm else 0
+        service = EstimatorService(
+            dace.model, dace.encoder, batch_size=batch_size, cache_size=cache,
+        )
+        pool = ConcurrentEstimatorService(service, workers=workers)
+        if warm:
+            service.predict_plans(plans)
+        return pool
+
+    identical_flags: List[bool] = []
+
+    def check(out) -> None:
+        identical_flags.append(bool(np.array_equal(out, reference)))
+
+    worker_counts = (1, 4, 8)
+    rows: List[list] = []
+    results: dict = {}
+    gc.collect()
+    gc.disable()
+    try:
+        for warm, label in ((False, "cache-miss"), (True, "cache-hit")):
+            base_qps = None
+            for workers in worker_counts:
+                pool = make_pool(workers, warm)
+                run_clients(pool, workers)  # warm memos and pool threads
+                best, out = float("inf"), None
+                for _ in range(3):
+                    elapsed, out = run_clients(pool, workers)
+                    best = min(best, elapsed)
+                check(out)
+                flush = pool.metrics.histogram("serve.pool.flush_size")
+                mean_flush = flush.mean
+                pool.close()
+                qps = n_plans / best
+                if base_qps is None:
+                    base_qps = qps
+                rows.append([
+                    f"{label} w={workers}", qps, qps / base_qps, mean_flush,
+                    "yes" if identical_flags[-1] else "NO",
+                ])
+                results[f"{label}_w{workers}"] = {
+                    "plans_per_s": qps,
+                    "speedup": qps / base_qps,
+                    "mean_flush": mean_flush,
+                    "bit_identical": identical_flags[-1],
+                }
+
+        # Headline ratio: interleaved pairs, median across pairs.
+        pool_1 = make_pool(1, warm=False)
+        pool_8 = make_pool(8, warm=False)
+        run_clients(pool_1, 1)
+        run_clients(pool_8, 8)
+        ratios: List[float] = []
+        for _ in range(7):
+            best_1 = best_8 = float("inf")
+            for _ in range(2):
+                elapsed, out = run_clients(pool_1, 1)
+                best_1 = min(best_1, elapsed)
+            check(out)
+            for _ in range(2):
+                elapsed, out = run_clients(pool_8, 8)
+                best_8 = min(best_8, elapsed)
+            check(out)
+            ratios.append(best_1 / best_8)
+        pool_1.close()
+        pool_8.close()
+    finally:
+        gc.enable()
+    miss_speedup_8 = statistics.median(ratios)
+
+    table = format_table(
+        ["workload", "plans/s", "vs w=1", "mean flush", "bit-identical"],
+        rows,
+        title=f"Concurrent serving throughput ({n_plans} plans, "
+              f"closed-loop clients = workers, max_batch={batch_size}); "
+              f"paired-median miss speedup w=8: {miss_speedup_8:.2f}x",
+    )
+    return {
+        "table": table,
+        "results": results,
+        "n_plans": n_plans,
+        "miss_speedup_8": miss_speedup_8,
+        "miss_speedup_ratios": ratios,
+        "hit_speedup_8": results["cache-hit_w8"]["speedup"],
+        "all_bit_identical": all(identical_flags),
     }
 
 

@@ -161,10 +161,11 @@ _METRIC_EXPORTERS = {
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Replay a workload through the serving runtime and report stats."""
     import math
+    import threading
     import time
 
-    from repro.serve import ChaosEstimator, CostFallback, MicroBatcher, \
-        ResilientEstimator
+    from repro.serve import ChaosEstimator, ConcurrentEstimatorService, \
+        CostFallback, MicroBatcher, ResilientEstimator
 
     dace = DACE.load(args.model)
     dataset = _load_many(args.workload)
@@ -187,23 +188,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics=dace.metrics,
         )
         estimator = resilient
-    batcher = MicroBatcher(estimator, max_batch=args.max_batch)
+    pool = None
+    batcher = None
+    if args.workers:
+        # Concurrent replay: N closed-loop client threads hammer the
+        # thread-pool front-end with single-plan calls; the leader drain
+        # coalesces whatever piles up during each forward.
+        pool = ConcurrentEstimatorService(
+            estimator, workers=args.workers, max_batch=args.max_batch
+        )
+
+        def _replay_concurrent():
+            out = [0.0] * len(plans)
+
+            def client(offset):
+                for i in range(offset, len(plans), args.workers):
+                    out[i] = pool.predict_plan(plans[i])
+
+            clients = [
+                threading.Thread(target=client, args=(offset,))
+                for offset in range(args.workers)
+            ]
+            for thread in clients:
+                thread.start()
+            for thread in clients:
+                thread.join()
+            return out
+    else:
+        batcher = MicroBatcher(estimator, max_batch=args.max_batch)
 
     start = time.perf_counter()
     predictions = []
     for _ in range(repeats):
-        handles = [batcher.submit(plan) for plan in plans]
-        batcher.flush()
-        predictions = [handle.result() for handle in handles]
+        if pool is not None:
+            predictions = _replay_concurrent()
+        else:
+            handles = [batcher.submit(plan) for plan in plans]
+            batcher.flush()
+            predictions = [handle.result() for handle in handles]
     elapsed = time.perf_counter() - start
+    if pool is not None:
+        pool.close()
 
     served = len(plans) * repeats
     stats = dace.service.cache_stats
     print(f"served {served} predictions over {len(plans)} plans "
           f"(x{repeats}) in {elapsed * 1e3:.1f} ms "
           f"({served / max(elapsed, 1e-9):.0f} plans/s)")
-    print(f"micro-batches: {batcher.batches_run} "
-          f"(max_batch={args.max_batch})")
+    if pool is not None:
+        drains = dace.metrics.histogram("serve.pool.flush_size")
+        print(f"pool: workers={args.workers} drains={drains.count} "
+              f"mean_flush={drains.mean:.1f} (max_batch={args.max_batch})")
+    else:
+        print(f"micro-batches: {batcher.batches_run} "
+              f"(max_batch={args.max_batch})")
     print(f"cache: {stats}")
     if predictions:
         print(f"latency range: {min(predictions):.3f} .. "
@@ -264,6 +302,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "taxonomy": bench.drift_taxonomy,
         "cardknowledge": bench.cardinality_knowledge,
         "serving": bench.serve_throughput,
+        "concurrency": bench.serve_concurrency,
         "obsoverhead": bench.obs_overhead,
         "chaos": bench.chaos_resilience,
     }
@@ -346,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--model", required=True)
     serve.add_argument("--workload", nargs="+", required=True)
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="serve through a thread pool of N workers: "
+                            "closed-loop concurrent replay with dynamic "
+                            "batching (default: single-threaded replay)")
     serve.add_argument("--max-batch", type=int, default=64,
                        help="micro-batcher coalescing size")
     serve.add_argument("--repeat", type=int, default=2,

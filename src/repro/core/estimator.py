@@ -25,6 +25,7 @@ from repro.engine.plan import PlanNode
 from repro.featurize.encoder import PlanEncoder
 from repro.featurize.loss_weights import DEFAULT_ALPHA
 from repro.obs import MetricsRegistry
+from repro.serve.concurrent import ConcurrentEstimatorService
 from repro.serve.resilience import CostFallback, ResilientEstimator
 from repro.serve.service import EstimatorService
 from repro.workloads.dataset import PlanDataset
@@ -47,6 +48,7 @@ class DACE:
         card_source: str = "estimated",
         seed: int = 0,
         resilient: bool = False,
+        workers: Optional[int] = None,
     ) -> None:
         # Defaults are constructed per instance: a def-time default would
         # be one shared (mutable) config across every DACE ever built.
@@ -68,11 +70,21 @@ class DACE:
             self.model, self.encoder, batch_size=self.training.batch_size,
             metrics=self.metrics,
         )
+        # With workers=N, predict* traffic funnels through a thread-pool
+        # front-end that coalesces concurrent single-plan calls into
+        # batched forwards (byte-identical to the serial path thanks to
+        # the service's deterministic padding buckets).
+        self.workers = workers
+        self.pool = (
+            ConcurrentEstimatorService(self.service, workers=workers)
+            if workers is not None else None
+        )
         # With resilient=True every predict* call goes through the
         # degradation tiers (retry -> breaker -> optimizer-cost fallback)
         # instead of propagating serving-path exceptions to the caller.
         self._resilient = resilient
-        self.estimator = self.resilient() if resilient else self.service
+        base = self.pool if self.pool is not None else self.service
+        self.estimator = self.resilient() if resilient else base
 
     # ------------------------------------------------------------------ #
     # Pre-training & inference
@@ -116,7 +128,8 @@ class DACE:
         """
         kwargs.setdefault("fallback", CostFallback(self.encoder.scaler))
         kwargs.setdefault("metrics", self.metrics)
-        return ResilientEstimator(self.service, **kwargs)
+        base = self.pool if self.pool is not None else self.service
+        return ResilientEstimator(base, **kwargs)
 
     # ------------------------------------------------------------------ #
     # LoRA fine-tuning (across-more, paper Sec. IV-D)
@@ -183,6 +196,7 @@ class DACE:
             "seed": self.seed,
             "lora_enabled": self.model.lora_enabled,
             "resilient": self._resilient,
+            "workers": self.workers,
         }
         with open(os.path.join(path, "meta.json"), "w") as handle:
             json.dump(meta, handle, indent=2)
@@ -207,6 +221,7 @@ class DACE:
             card_source=meta.get("card_source", "estimated"),
             seed=meta["seed"],
             resilient=meta.get("resilient", False),
+            workers=meta.get("workers"),
         )
         with np.load(os.path.join(path, "weights.npz")) as archive:
             state = {name: archive[name] for name in archive.files}

@@ -187,12 +187,34 @@ class PlanEncoder:
         self,
         plans: Sequence[CaughtPlan],
         with_labels: bool = True,
+        pad_to: Optional[int] = None,
+        node_features: Optional[Sequence[np.ndarray]] = None,
     ) -> EncodedBatch:
-        """Pad a list of plans into one batch."""
+        """Pad a list of plans into one batch.
+
+        ``pad_to`` forces the padded width up to at least that many nodes
+        (plans wider than ``pad_to`` still pad to the batch maximum).  A
+        fixed width makes each plan's forward-pass bits independent of
+        whatever it happens to be batched with — the foundation of the
+        serving stack's determinism guarantee under concurrent batching.
+
+        ``node_features`` supplies precomputed :meth:`encode_plan` arrays
+        (one per plan, same order), letting callers fan the pure-Python
+        encoding loop out across worker threads and keep only the cheap
+        padded assembly here.  The arrays must be exactly what
+        ``encode_plan`` returns, so assembly stays bit-identical.
+        """
         if not plans:
             raise ValueError("empty batch")
+        if node_features is not None and len(node_features) != len(plans):
+            raise ValueError(
+                f"got {len(node_features)} precomputed encodings "
+                f"for {len(plans)} plans"
+            )
         batch = len(plans)
         n_max = max(plan.num_nodes for plan in plans)
+        if pad_to is not None:
+            n_max = max(n_max, pad_to)
 
         features = np.zeros((batch, n_max, self.dim))
         attention = np.zeros((batch, n_max, n_max), dtype=bool)
@@ -205,19 +227,26 @@ class PlanEncoder:
 
         for index, plan in enumerate(plans):
             n = plan.num_nodes
-            features[index, :n] = self.encode_plan(plan)
+            if node_features is not None:
+                features[index, :n] = node_features[index]
+            else:
+                features[index, :n] = self.encode_plan(plan)
             attention[index, :n, :n] = plan.adjacency
             valid[index, :n] = True
             heights[index, :n] = plan.heights
-            weights[index, :n] = loss_weights(plan.heights, self.alpha)
             if with_labels:
+                # Loss weights only matter when a loss will be computed;
+                # label-free (inference) batches keep the zero fill and
+                # skip the per-plan height walk on the serving hot path.
+                weights[index, :n] = loss_weights(plan.heights, self.alpha)
                 if plan.actual_times is None:
                     raise ValueError("plan has no labels; executed plans needed")
                 labels[index, :n] = np.log(
                     np.maximum(plan.actual_times, LABEL_EPS_MS)
                 )
             # Padding rows attend to themselves so softmax rows stay finite.
-            for pad in range(n, n_max):
+            if n < n_max:
+                pad = np.arange(n, n_max)
                 attention[index, pad, pad] = True
         return EncodedBatch(
             features=features,

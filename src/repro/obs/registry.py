@@ -21,6 +21,7 @@ instrumentation-overhead benchmark compares against.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
@@ -68,6 +69,8 @@ class _Timer:
         if self._registry is not None:
             registry = self._registry
             registry._depth -= 1
+            # deque.append with a maxlen is a single GIL-atomic op, so
+            # concurrent spans interleave but never corrupt the ring.
             registry._trace.append(SpanRecord(
                 name=self._histogram.name,
                 start=self._start - registry._epoch,
@@ -83,17 +86,47 @@ class MetricsRegistry:
         self._metrics: "OrderedDict[str, Metric]" = OrderedDict()
         self._trace: Deque[SpanRecord] = deque(maxlen=trace_capacity)
         self._epoch = time.perf_counter()
-        self._depth = 0
+        # Span nesting depth is a per-thread notion: two threads timing
+        # stages concurrently are not nested inside each other.
+        self._local = threading.local()
+        self._create_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks and thread-locals are process-local runtime state: a
+        # copied/unpickled registry gets fresh ones (span depth resets).
+        state = self.__dict__.copy()
+        del state["_create_lock"]
+        del state["_local"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._local = threading.local()
+        self._create_lock = threading.Lock()
+
+    @property
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @_depth.setter
+    def _depth(self, value: int) -> None:
+        self._local.depth = value
 
     # ------------------------------------------------------------------ #
     # Metric creation (get-or-create by name)
     # ------------------------------------------------------------------ #
     def _get_or_create(self, name: str, kind, **kwargs) -> Metric:
+        # Lock-free fast path: once created, a metric is never replaced,
+        # so a plain read either sees it or falls through to the locked
+        # create (which re-checks).
         metric = self._metrics.get(name)
         if metric is None:
-            metric = kind(name, **kwargs)
-            self._metrics[name] = metric
-        elif not isinstance(metric, kind):
+            with self._create_lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = kind(name, **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, kind):
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(metric).__name__}, not {kind.__name__}"

@@ -10,6 +10,10 @@ Everything downstream of a trained model goes through this package:
 - :class:`~repro.serve.batching.MicroBatcher` — coalesces single-plan
   call sites into batched inference, with per-handle error propagation
   and a queue-staleness flush deadline;
+- :class:`~repro.serve.concurrent.ConcurrentEstimatorService` — a
+  thread-pool front-end that coalesces *concurrent* single-plan traffic
+  into batched forwards (leader/followers drain) and fans plan encoding
+  across workers, byte-identical to the serial path;
 - :class:`~repro.serve.resilience.ResilientEstimator` — deadlines,
   bounded retries with deterministic jitter, a circuit breaker, and a
   final optimizer-cost degradation tier (:class:`~repro.serve.resilience.
@@ -24,6 +28,7 @@ Everything downstream of a trained model goes through this package:
 
 from repro.serve.batching import MicroBatcher, PendingPrediction
 from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.concurrent import ConcurrentEstimatorService, PoolPrediction
 from repro.serve.chaos import (
     ChaosConfig,
     ChaosEncoder,
@@ -46,6 +51,8 @@ from repro.serve.service import EstimatorService
 __all__ = [
     "Estimator",
     "EstimatorService",
+    "ConcurrentEstimatorService",
+    "PoolPrediction",
     "MicroBatcher",
     "PendingPrediction",
     "ModelRegistry",

@@ -21,10 +21,18 @@ blow up on stale state, and a permanently-broken estimator turned
 ``result()`` into an infinite retry.  Callers that want retries put a
 :class:`~repro.serve.resilience.ResilientEstimator` *under* the batcher,
 which retries (and ultimately degrades) inside one flush instead.
+
+**Thread safety:** ``submit``/``flush``/``result`` may be called from any
+number of threads.  The queue swap happens under a mutex, the estimator
+runs outside it (so submissions keep flowing during a flush), and every
+handle carries an event: a ``result()`` that finds its handle claimed by
+another thread's in-flight flush waits for that flush to resolve or
+reject it instead of seeing a half-written batch.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import List, Optional, Sequence
 
@@ -42,16 +50,17 @@ class PendingPrediction:
     (``result()`` raises it; ``exception()`` exposes it without raising).
     """
 
-    __slots__ = ("_batcher", "_value", "_error")
+    __slots__ = ("_batcher", "_value", "_error", "_done")
 
     def __init__(self, batcher: "MicroBatcher") -> None:
         self._batcher = batcher
         self._value: Optional[float] = None
         self._error: Optional[BaseException] = None
+        self._done = threading.Event()
 
     @property
     def done(self) -> bool:
-        return self._value is not None or self._error is not None
+        return self._done.is_set()
 
     @property
     def failed(self) -> bool:
@@ -64,12 +73,16 @@ class PendingPrediction:
     def result(self) -> float:
         """Predicted latency (ms), flushing the queue if still pending.
 
-        Cannot hang: the flush either resolves this handle with a value
-        or rejects it with the estimator's exception, which is re-raised
-        here (and on every later call).
+        Cannot hang: either this call's flush resolves the handle, or the
+        handle was already claimed by another thread's in-flight flush —
+        in which case we wait for that flush, whose success *and* failure
+        paths both mark the handle done.  A rejected handle re-raises the
+        estimator's exception here (and on every later call).
         """
-        if not self.done:
+        if not self._done.is_set():
             self._batcher.flush()
+            # Claimed by a concurrent flush that has not resolved us yet.
+            self._done.wait()
         if self._error is not None:
             raise self._error
         assert self._value is not None
@@ -77,9 +90,11 @@ class PendingPrediction:
 
     def _resolve(self, value: float) -> None:
         self._value = value
+        self._done.set()
 
     def _reject(self, error: BaseException) -> None:
         self._error = error
+        self._done.set()
 
 
 class MicroBatcher:
@@ -114,6 +129,9 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.flush_deadline_s = flush_deadline_s
         self._clock = clock
+        # Guards the pending queue (plans/handles/oldest timestamp) and
+        # the coalescing tallies; never held across an estimator call.
+        self._mutex = threading.Lock()
         self._oldest_enqueued: Optional[float] = None
         self._plans: List[PlanNode] = []
         self._handles: List[PendingPrediction] = []
@@ -172,15 +190,19 @@ class MicroBatcher:
         batch over the edge.
         """
         handle = PendingPrediction(self)
-        if not self._plans:
-            self._oldest_enqueued = self._clock()
-        self._plans.append(plan)
-        self._handles.append(handle)
+        with self._mutex:
+            if not self._plans:
+                self._oldest_enqueued = self._clock()
+            self._plans.append(plan)
+            self._handles.append(handle)
+            depth = len(self._plans)
+            full = depth >= self.max_batch
+            stale = not full and self._deadline_reached()
         self._plans_total.inc()
-        self._queue_depth.set(len(self._plans))
-        if len(self._plans) >= self.max_batch:
+        self._queue_depth.set(depth)
+        if full:
             self._try_flush()
-        elif self._deadline_reached():
+        elif stale:
             self._deadline_flushes.inc()
             self._try_flush()
         return handle
@@ -191,6 +213,15 @@ class MicroBatcher:
         except Exception:
             pass  # already delivered through each rejected handle
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_mutex"]  # process-local; recreated on restore
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutex = threading.Lock()
+
     def flush(self) -> None:
         """Run one batched inference over everything queued.
 
@@ -199,15 +230,19 @@ class MicroBatcher:
         queue is cleared, and the exception propagates to the direct
         caller.  Plans submitted *during* a failing flush are untouched.
         """
-        if not self._plans:
-            return
-        plans, handles = self._plans, self._handles
-        self._plans, self._handles = [], []
-        self._oldest_enqueued = None
+        with self._mutex:
+            if not self._plans:
+                return
+            plans, handles = self._plans, self._handles
+            self._plans, self._handles = [], []
+            self._oldest_enqueued = None
         try:
             with self.metrics.timer("batch.flush_seconds"):
                 values = self.estimator.predict_plans(plans)
-        except Exception as error:
+        except BaseException as error:
+            # Reject on *BaseException* too (KeyboardInterrupt, ...): the
+            # batch is already claimed, so an unresolved handle would make
+            # a concurrent result() wait forever.
             for handle in handles:
                 handle._reject(error)
             self._failed_flushes.inc()
@@ -216,12 +251,14 @@ class MicroBatcher:
             raise
         for handle, value in zip(handles, values):
             handle._resolve(float(value))
-        self.batches_run += 1
-        self.plans_batched += len(plans)
+        with self._mutex:
+            self.batches_run += 1
+            self.plans_batched += len(plans)
+            ratio = self.plans_batched / self.batches_run
         self._flushes.inc()
         self._flush_sizes.observe(len(plans))
         self._queue_depth.set(len(self._plans))
-        self._coalescing.set(self.plans_batched / self.batches_run)
+        self._coalescing.set(ratio)
 
     # ------------------------------------------------------------------ #
     # Estimator protocol

@@ -11,10 +11,19 @@ gets its own private :class:`~repro.obs.registry.MetricsRegistry`, while
 the :class:`~repro.serve.service.EstimatorService` hands its cache the
 service-wide registry so hit/miss/eviction counts show up in the same
 report as stage timings — one source of truth either way.
+
+**Thread safety.**  :class:`LRUCache` serializes every structural
+operation (lookup + recency bump, insert + eviction sweep, clear) behind
+one mutex, so concurrent readers can never corrupt the recency list or
+evict past capacity.  Stat counters are recorded while holding the cache
+mutex — cache mutex before metric lock is part of the serving stack's
+audited lock order (docs/architecture.md); the counters themselves never
+call back into the cache, so the nesting cannot invert.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Hashable, Optional
 
 from collections import OrderedDict
@@ -81,8 +90,8 @@ class CacheStats:
     def record_hit(self) -> None:
         self._hits.inc()
 
-    def record_miss(self) -> None:
-        self._misses.inc()
+    def record_miss(self, count: int = 1) -> None:
+        self._misses.inc(count)
 
     def record_eviction(self) -> None:
         self._evictions.inc()
@@ -116,6 +125,7 @@ class LRUCache:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._mutex = threading.Lock()
         self.stats = stats if stats is not None else CacheStats()
 
     def __len__(self) -> int:
@@ -126,24 +136,36 @@ class LRUCache:
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, or None — counting the hit/miss either way."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.record_miss()
-            return None
-        self._entries.move_to_end(key)
-        self.stats.record_hit()
-        return entry
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.record_miss()
+                return None
+            self._entries.move_to_end(key)
+            self.stats.record_hit()
+            return entry
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.record_eviction()
+        with self._mutex:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.record_eviction()
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; see ``stats.reset``)."""
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_mutex"]  # process-local; recreated on restore
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutex = threading.Lock()

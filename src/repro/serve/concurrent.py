@@ -1,0 +1,413 @@
+"""ConcurrentEstimatorService: a worker-pool front-end for the service.
+
+Single-plan traffic arriving from many threads is the worst case for the
+serving stack: every caller pays a full forward pass for a batch of one.
+:class:`ConcurrentEstimatorService` turns that concurrency into batch
+efficiency with a *leader/followers* queue in front of an
+:class:`~repro.serve.service.EstimatorService`:
+
+- ``submit`` enqueues the plan and returns a :class:`PoolPrediction`
+  handle.  The first submitter whose arrival finds no active leader
+  schedules a **drain** task on the shared :class:`ThreadPoolExecutor`;
+- the drain pops up to ``max_batch`` queued requests, prices them through
+  one ``service.predict_plans`` call (one padded ``encode_batch``, one
+  model forward), resolves every handle, and loops until the queue is
+  empty — so whatever requests pile up while a forward is running are
+  coalesced into the next one (dynamic batching);
+- large miss chunks additionally fan the pure-Python ``encode_plan``
+  loop out across the pool's idle workers (the service's
+  ``encode_fanout`` hook), keeping only the padded assembly and the
+  forward serial.
+
+**Determinism.**  Because the underlying service pads every forward to a
+bucketed width (``pad_base``), a plan's predicted bits are independent of
+which requests it happens to be coalesced with: ``workers=8`` answers
+byte-for-byte what ``workers=1`` — and the plain serial service —
+answers.  ``tests/serve/test_concurrency.py`` pins this.
+
+**Deadlock audit.**  Pool demand is bounded by construction: at most one
+drain task exists at a time (the ``_leader_active`` flag flips under the
+queue lock), and encode fan-out submits at most ``workers - 1`` slices
+per caller while the submitting thread encodes its own slice inline —
+so no pool task ever blocks waiting for a pool slot.  Lock order is
+queue lock → (service internals: cache mutex → metric lock); the queue
+lock is never held across an estimator call.  See "Concurrency model" in
+``docs/architecture.md``.
+
+Metrics (on the service's registry, ``serve.pool.*``): ``workers``
+(gauge), ``queue_depth`` (gauge), ``requests`` (counter), ``flush_size``
+(histogram of plans per drain), and ``wait_seconds`` (histogram of
+submit→resolve latency).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.plan import PlanNode
+from repro.featurize.catcher import CaughtPlan, catch_plan
+from repro.obs import MetricsRegistry
+
+# Chunks smaller than this encode inline: on small batches the pool
+# submit/result overhead outweighs the parallel encode.
+MIN_FANOUT_PLANS = 16
+
+
+class PoolPrediction:
+    """Handle for a plan submitted to the pool; ``result()`` blocks.
+
+    Unlike :class:`~repro.serve.batching.PendingPrediction` there is
+    nothing to flush: a pending handle always has an active drain working
+    toward it, so ``result()`` just waits for resolution or rejection.
+    """
+
+    __slots__ = ("_plan", "_caught", "_value", "_error", "_done",
+                 "_enqueued")
+
+    def __init__(self, plan, enqueued: float) -> None:
+        self._plan = plan
+        self._caught: Optional[CaughtPlan] = None
+        self._value: Optional[float] = None
+        self._error: Optional[BaseException] = None
+        self._done = threading.Event()
+        self._enqueued = enqueued
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+    def exception(self) -> Optional[BaseException]:
+        """The rejection cause, or None while pending / after success."""
+        return self._error
+
+    def result(self, timeout: Optional[float] = None) -> float:
+        """Predicted latency (ms); raises the drain's error on rejection."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"prediction not resolved within {timeout} seconds"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+    def _resolve(self, value: float) -> None:
+        self._value = value
+        self._done.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+class ConcurrentEstimatorService:
+    """Thread-pool front-end batching concurrent traffic onto one service.
+
+    Speaks the Estimator protocol, so it drops in wherever an estimator
+    is expected.  All mutable state (queue, handles, leader flag) lives
+    behind one lock that is never held across a model call; the wrapped
+    :class:`EstimatorService` is itself safe for concurrent callers, so
+    direct calls to it may coexist with the pool.
+
+    ``workers=1`` still batches (requests queued during a forward
+    coalesce into the next drain) but never fans encoding out — the
+    single pool thread is the leader.
+    """
+
+    def __init__(
+        self,
+        service,
+        workers: int = 4,
+        max_batch: Optional[int] = None,
+        min_fanout: int = MIN_FANOUT_PLANS,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.service = service
+        self.workers = workers
+        # Usually an EstimatorService, but any estimator works (e.g. a
+        # ResilientEstimator): the extras — shared batch size, registry,
+        # encode fan-out — degrade gracefully when absent.
+        self.max_batch = max_batch if max_batch is not None else (
+            getattr(service, "batch_size", None) or 64
+        )
+        self.min_fanout = min_fanout
+        metrics = getattr(service, "metrics", None)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        # Guards queue + leader flag + closed flag; never held across an
+        # estimator or pool call (lock order: this, then service locks).
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: List[PoolPrediction] = []
+        self._leader_active = False
+        self._closed = False
+        # How long an idle leader waits for the next request before
+        # abdicating.  Closed-loop clients resubmit within microseconds
+        # of being resolved; lingering catches that next wave directly
+        # instead of paying an executor respawn per drain cycle.
+        self.linger_s = 0.002
+        # Batch-forming grace: after resolving a wave of requests the
+        # drain waits up to this long for the queue to refill to the
+        # previous flush size before running the next forward, so a
+        # full client wave lands in one batch instead of trickling into
+        # fragments.  Self-tuning via _last_flush: serial traffic
+        # (flushes of one) never waits.
+        self.gather_s = 0.0005
+        self._last_flush = 1
+        if (workers > 1
+                and getattr(service, "encode_fanout", "absent") is None):
+            service.encode_fanout = self._fanout_encode
+        # Identity-keyed catch memo: closed-loop callers resubmit the
+        # same PlanNode objects, and re-snapshotting one costs ~40us of
+        # pure recomputation per request.  Entries hold a strong
+        # reference to the plan, so an id can never be recycled while
+        # its entry is alive; lookups still verify `is` before trusting
+        # a hit.  Callers that mutate a submitted plan in place must not
+        # reuse the same object (snapshot semantics, as documented).
+        self._catch_memo: "OrderedDict[int, tuple]" = OrderedDict()
+        self._catch_memo_capacity = 4096
+        self._catch_lock = threading.Lock()  # leaf; never nested outward
+        self._can_serve_caught = hasattr(service, "predict_caught")
+        self._workers_gauge = self.metrics.gauge(
+            "serve.pool.workers", help="threads in the serving pool"
+        )
+        self._workers_gauge.set(workers)
+        self._queue_depth = self.metrics.gauge(
+            "serve.pool.queue_depth", help="requests waiting for a drain"
+        )
+        self._requests = self.metrics.counter(
+            "serve.pool.requests", help="plans submitted to the pool"
+        )
+        self._flush_sizes = self.metrics.histogram(
+            "serve.pool.flush_size", help="plans coalesced per drain"
+        )
+        self._wait_times = self.metrics.histogram(
+            "serve.pool.wait_seconds", help="submit-to-resolve latency"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queue + drain
+    # ------------------------------------------------------------------ #
+    def _catch(self, plan: PlanNode) -> CaughtPlan:
+        """Snapshot a plan on the calling thread, memoized by identity.
+
+        The hit path is lock-free: ``dict.get`` is atomic under the GIL,
+        and entries are immutable tuples, so a concurrent insert can at
+        worst make a reader miss and recompute.  Only inserts (and the
+        insertion-order eviction sweep) serialize on the leaf lock.
+        """
+        key = id(plan)
+        entry = self._catch_memo.get(key)
+        if entry is not None and entry[0] is plan:
+            return entry[1]
+        caught = catch_plan(plan)
+        with self._catch_lock:
+            self._catch_memo[key] = (plan, caught)
+            while len(self._catch_memo) > self._catch_memo_capacity:
+                self._catch_memo.popitem(last=False)
+        return caught
+
+    def submit(self, plan: PlanNode) -> PoolPrediction:
+        """Enqueue one plan; a drain resolves the handle asynchronously.
+
+        The plan is snapshot (caught) here, on the submitting thread —
+        off the serialized drain path — so mutating the plan object after
+        ``submit`` does not affect the prediction.
+        """
+        handle = PoolPrediction(plan, time.monotonic())
+        if self._can_serve_caught:
+            handle._caught = self._catch(plan)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            self._queue.append(handle)
+            lead = not self._leader_active
+            if lead:
+                self._leader_active = True
+            else:
+                self._work.notify()  # wake a lingering leader
+        if lead:
+            try:
+                self._pool.submit(self._drain)
+            except BaseException as error:
+                # Pool shut down between our check and the submit.  No
+                # drain can ever run again, so reject everything queued
+                # (later submitters may have piggybacked on our leadership)
+                # rather than strand a single handle.
+                with self._lock:
+                    self._leader_active = False
+                    stranded = self._queue
+                    self._queue = []
+                for queued in stranded:
+                    queued._reject(error)
+                handle._reject(error)
+        return handle
+
+    def _drain(self) -> None:
+        """Leader loop: price queued requests batch by batch until empty.
+
+        The empty-check and leader-flag clear are atomic under the queue
+        lock, so a request is either seen by the current leader or its
+        submitter becomes the next one — requests cannot be stranded.  An
+        idle leader lingers up to ``linger_s`` before abdicating, so a
+        steady stream of requests is served by one long-lived drain
+        rather than one executor task per wave.
+        """
+        while True:
+            with self._lock:
+                if not self._queue and not self._closed:
+                    self._work.wait(timeout=self.linger_s)
+                if not self._queue:
+                    self._leader_active = False
+                    return
+                target = min(self._last_flush, self.max_batch)
+                if len(self._queue) < target and not self._closed:
+                    deadline = time.monotonic() + self.gather_s
+                    while len(self._queue) < target and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._work.wait(timeout=remaining)
+                batch = self._queue[:self.max_batch]
+                del self._queue[:self.max_batch]
+                self._last_flush = len(batch)
+                depth = len(self._queue)
+            self._queue_depth.set(depth)
+            self._flush_sizes.observe(len(batch))
+            # Submission accounting happens here, batched per flush, so
+            # the client-side submit path stays lock-light.
+            self._requests.inc(len(batch))
+            try:
+                if self._can_serve_caught:
+                    values = self.service.predict_caught(
+                        [handle._caught for handle in batch]
+                    )
+                else:
+                    values = self.service.predict_plans(
+                        [handle._plan for handle in batch]
+                    )
+            except BaseException as error:
+                # Reject on BaseException too: these handles are claimed,
+                # and an unresolved claimed handle blocks result() forever.
+                for handle in batch:
+                    handle._reject(error)
+                continue
+            now = time.monotonic()
+            for handle, value in zip(batch, values):
+                handle._resolve(float(value))
+            self._wait_times.observe_many(
+                [now - handle._enqueued for handle in batch]
+            )
+
+    def _fanout_encode(
+        self, plans: Sequence[CaughtPlan]
+    ) -> List[np.ndarray]:
+        """Encode a miss chunk, slicing it across idle pool workers.
+
+        At most ``workers - 1`` slices go to the pool; the calling thread
+        (usually the drain leader) encodes the first slice itself, so
+        this never waits on a pool slot it might be occupying.
+        """
+        encoder = self.service.encoder
+        total = len(plans)
+        parts = min(self.workers, max(1, total // (self.min_fanout // 2)))
+        if total < self.min_fanout or parts < 2:
+            return [encoder.encode_plan(plan) for plan in plans]
+        bounds = [total * i // parts for i in range(parts + 1)]
+        slices = [plans[bounds[i]:bounds[i + 1]] for i in range(parts)]
+        futures = [
+            self._pool.submit(
+                lambda chunk: [encoder.encode_plan(p) for p in chunk], piece
+            )
+            for piece in slices[1:]
+        ]
+        encoded = [encoder.encode_plan(plan) for plan in slices[0]]
+        for future in futures:
+            encoded.extend(future.result())
+        return encoded
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop accepting work and wait for in-flight drains to finish."""
+        with self._lock:
+            self._closed = True
+            self._work.notify_all()  # lingering leaders exit promptly
+        self._pool.shutdown(wait=True)
+        if getattr(self.service, "encode_fanout", None) is (
+                self._fanout_encode):
+            self.service.encode_fanout = None
+
+    def __enter__(self) -> "ConcurrentEstimatorService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __deepcopy__(self, memo) -> "ConcurrentEstimatorService":
+        # A pool is runtime machinery (executor threads, condition
+        # variables): copying means building a fresh pool around a copy
+        # of the wrapped service, not duplicating live threads.
+        service = copy.deepcopy(self.service, memo)
+        clone = ConcurrentEstimatorService(
+            service,
+            workers=self.workers,
+            max_batch=self.max_batch,
+            min_fanout=self.min_fanout,
+        )
+        memo[id(self)] = clone
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Estimator protocol
+    # ------------------------------------------------------------------ #
+    def predict_plan(self, plan: PlanNode) -> float:
+        """Predicted latency (ms), coalesced with concurrent callers."""
+        return self.submit(plan).result()
+
+    def predict_plans(self, plans: Sequence[PlanNode]) -> np.ndarray:
+        """Predicted latency (ms) per plan, routed through the queue."""
+        handles = [self.submit(plan) for plan in plans]
+        return np.array([handle.result() for handle in handles])
+
+    def predict(self, dataset) -> np.ndarray:
+        """Predicted latency (ms) per plan of a PlanDataset."""
+        return self.predict_plans([sample.plan for sample in dataset])
+
+    def predict_log(self, dataset) -> np.ndarray:
+        """Predicted root log-latency per plan (direct service path)."""
+        return self.service.predict_log(dataset)
+
+    def predict_subplans(self, plan: PlanNode) -> np.ndarray:
+        """Per-sub-plan latencies (direct service path)."""
+        return self.service.predict_subplans(plan)
+
+    # ------------------------------------------------------------------ #
+    # Service passthroughs
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_stats(self):
+        return self.service.cache_stats
+
+    def invalidate(self) -> None:
+        self.service.invalidate()
+
+    def reset_stats(self) -> None:
+        self.service.reset_stats()

@@ -29,6 +29,7 @@ histogram of how long retried requests took to resolve.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from typing import Deque, List, Optional, Sequence, Tuple
@@ -79,6 +80,10 @@ class CircuitBreaker:
       re-arms the timer.
 
     The clock is injectable so tests drive transitions without sleeping.
+
+    Thread-safe: the outcome window and every state transition are
+    guarded by one lock, so concurrent ``allow``/``record_*`` calls can
+    never double-count an outcome or run the open→half-open edge twice.
     """
 
     def __init__(
@@ -106,6 +111,7 @@ class CircuitBreaker:
         self.min_calls = min_calls
         self.reset_timeout_s = reset_timeout_s
         self._clock = clock
+        self._lock = threading.Lock()
         self._outcomes: Deque[bool] = deque(maxlen=window)
         self._state = STATE_CLOSED
         self._opened_at = 0.0
@@ -134,11 +140,13 @@ class CircuitBreaker:
     @property
     def failure_rate(self) -> float:
         """Failure fraction of the recorded window (0.0 when empty)."""
-        if not self._outcomes:
+        outcomes = tuple(self._outcomes)
+        if not outcomes:
             return 0.0
-        return 1.0 - sum(self._outcomes) / len(self._outcomes)
+        return 1.0 - sum(outcomes) / len(outcomes)
 
     def _transition(self, state: str) -> None:
+        # Caller holds self._lock.
         if state == self._state:
             return
         self._state = state
@@ -154,27 +162,39 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """May the protected path be attempted right now?"""
-        if self._state == STATE_OPEN:
-            if self._clock() - self._opened_at >= self.reset_timeout_s:
-                self._transition(STATE_HALF_OPEN)
-                return True
-            return False
-        return True
+        with self._lock:
+            if self._state == STATE_OPEN:
+                if self._clock() - self._opened_at >= self.reset_timeout_s:
+                    self._transition(STATE_HALF_OPEN)
+                    return True
+                return False
+            return True
 
     def record_success(self) -> None:
-        if self._state == STATE_HALF_OPEN:
-            self._transition(STATE_CLOSED)
-        elif self._state == STATE_CLOSED:
-            self._outcomes.append(True)
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._transition(STATE_CLOSED)
+            elif self._state == STATE_CLOSED:
+                self._outcomes.append(True)
 
     def record_failure(self) -> None:
-        if self._state == STATE_HALF_OPEN:
-            self._transition(STATE_OPEN)
-        elif self._state == STATE_CLOSED:
-            self._outcomes.append(False)
-            if (len(self._outcomes) >= self.min_calls
-                    and self.failure_rate >= self.failure_threshold):
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
                 self._transition(STATE_OPEN)
+            elif self._state == STATE_CLOSED:
+                self._outcomes.append(False)
+                if (len(self._outcomes) >= self.min_calls
+                        and self.failure_rate >= self.failure_threshold):
+                    self._transition(STATE_OPEN)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # process-local; recreated on restore
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 class CostFallback:
@@ -265,7 +285,10 @@ class ResilientEstimator:
         self.deadline_s = deadline_s
         self._clock = clock
         self._sleep = sleep
+        # numpy Generators are not thread-safe; the jitter draw is the
+        # only mutable state on the retry path, so give it its own lock.
         self._rng = np.random.default_rng(seed)
+        self._rng_lock = threading.Lock()
         # Share the wrapped estimator's registry when it has one, matching
         # MicroBatcher: one report covers the whole serving stack.
         if metrics is None:
@@ -320,8 +343,21 @@ class ResilientEstimator:
 
     def __getattr__(self, name):
         # Pass anything outside the resilience surface (cache_stats,
-        # invalidate, ...) through to the wrapped estimator.
+        # invalidate, ...) through to the wrapped estimator.  Guard the
+        # delegate itself: during unpickling ``estimator`` is absent from
+        # __dict__ and plain delegation would recurse forever.
+        if name == "estimator":
+            raise AttributeError(name)
         return getattr(self.estimator, name)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_rng_lock"]  # process-local; recreated on restore
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._rng_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def _validated(self, plans: Sequence[PlanNode]) -> np.ndarray:
@@ -340,7 +376,9 @@ class ResilientEstimator:
     def _backoff_delay(self, retry_index: int) -> float:
         """Exponential backoff with deterministic (seeded-RNG) jitter."""
         base = self.backoff_s * self.backoff_multiplier ** retry_index
-        return base * (1.0 + self.jitter * float(self._rng.random()))
+        with self._rng_lock:
+            draw = float(self._rng.random())
+        return base * (1.0 + self.jitter * draw)
 
     def _degrade(self, plans: Sequence[PlanNode]) -> Tuple[np.ndarray, np.ndarray]:
         values = np.asarray(

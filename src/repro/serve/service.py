@@ -27,11 +27,30 @@ Every service carries a :class:`~repro.obs.registry.MetricsRegistry`
 ``serve.request_seconds``), the batch-size distribution
 (``serve.batch_size``), request/plan counters, and the cache's
 hit/miss/eviction counters (``serve.cache.*``).
+
+**Deterministic batching.**  Model outputs shift at the ~1e-14 level when
+the padded width of a batch changes, so two calls that co-batch a plan
+with different neighbours would disagree in the last bits.  By default
+the service therefore pads every forward to a *bucketed* width —
+``pad_base`` (16), doubling as plans outgrow it — and only co-batches
+plans from the same bucket.  A plan's bits then depend on nothing but the
+plan itself, which is what lets the concurrent front-end
+(:class:`~repro.serve.concurrent.ConcurrentEstimatorService`) coalesce
+arbitrary request mixes and still answer byte-for-byte equal to the
+serial path.  ``pad_base=None`` restores the legacy tight padding.
+
+**Thread safety.**  The service holds no per-call mutable state: model
+weights and the fitted scaler are read-only at serving time, the LRU
+cache locks internally, and all counters are lock-protected
+:mod:`repro.obs` metrics, so any number of threads may call ``predict*``
+concurrently.  Two threads that miss on the same fingerprint both run the
+forward and both insert — identical (deterministic) values, so the race
+is benign and lock-free reads stay cheap.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +61,7 @@ from repro.obs import MetricsRegistry
 from repro.serve.cache import CacheStats, LRUCache
 
 DEFAULT_CACHE_SIZE = 4096
+DEFAULT_PAD_BASE = 16
 
 
 class EstimatorService:
@@ -54,12 +74,26 @@ class EstimatorService:
         batch_size: int = 64,
         cache_size: int = DEFAULT_CACHE_SIZE,
         metrics: Optional[MetricsRegistry] = None,
+        pad_base: Optional[int] = DEFAULT_PAD_BASE,
+        encode_fanout: Optional[
+            Callable[[Sequence[CaughtPlan]], List[np.ndarray]]
+        ] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if pad_base is not None and pad_base < 1:
+            raise ValueError(f"pad_base must be >= 1, got {pad_base}")
         self.model = model
         self.encoder = encoder
         self.batch_size = batch_size
+        # Deterministic padding: forwards are padded to pad_base * 2**k,
+        # and only same-bucket plans share a forward, so each plan's bits
+        # are a function of the plan alone (None = legacy tight padding).
+        self.pad_base = pad_base
+        # Optional hook mapping a chunk of caught plans to their
+        # encode_plan arrays — ConcurrentEstimatorService points this at
+        # its worker pool to parallelize the encoding loop.
+        self.encode_fanout = encode_fanout
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Workload-dependent extra features read predicate literals the
         # fingerprint does not cover, so two distinct plans can share a
@@ -69,6 +103,14 @@ class EstimatorService:
             cache_size = 0
         self._cache = LRUCache(
             cache_size, stats=CacheStats(self.metrics, prefix="serve.cache")
+        )
+        # Encoding memo: per-plan encode_plan arrays keyed by fingerprint.
+        # Separate layer from the prediction cache — a plan whose
+        # prediction was evicted (or never cached, cache_size=0) still
+        # pays its forward, but not a byte-identical re-encode.
+        self._encodings = LRUCache(
+            DEFAULT_CACHE_SIZE if self._fingerprint_safe else 0,
+            stats=CacheStats(self.metrics, prefix="serve.enc_cache"),
         )
         self._requests = self.metrics.counter(
             "serve.requests", help="prediction/embedding calls served"
@@ -92,8 +134,10 @@ class EstimatorService:
         return len(self._cache)
 
     def invalidate(self) -> None:
-        """Drop cached predictions — required after any weight change."""
+        """Drop cached predictions and encodings — required after any
+        weight change (and after refitting the encoder's scaler)."""
         self._cache.clear()
+        self._encodings.clear()
 
     def reset_stats(self) -> None:
         """Zero every metric on the registry (cache counters included)."""
@@ -115,6 +159,80 @@ class EstimatorService:
             return embed(batch)
         with no_grad():
             return self.model.embed(batch)
+
+    # ------------------------------------------------------------------ #
+    # Deterministic chunking
+    # ------------------------------------------------------------------ #
+    def _pad_width(self, num_nodes: int) -> Optional[int]:
+        """Bucketed padded width for a plan, or None for tight padding.
+
+        Buckets grow by x1.5 (16, 24, 36, 54, ...): attention cost is
+        quadratic in the padded width, so doubling buckets waste up to
+        4x compute on plans just past a boundary; x1.5 caps the waste at
+        ~2.25x worst case while keeping the bucket count small.
+        """
+        if self.pad_base is None:
+            return None
+        width = self.pad_base
+        while width < num_nodes:
+            width += width >> 1
+        return width
+
+    def _iter_chunks(self, misses, caught):
+        """Split sorted miss indices into (chunk, pad_to) forwards.
+
+        Chunks never mix padding buckets: since ``misses`` is sorted by
+        node count, each bucket is a contiguous run, and a chunk ends at
+        ``batch_size`` or at the bucket boundary, whichever comes first.
+        With ``pad_base=None`` every width is None and this degenerates to
+        plain ``batch_size`` slicing.
+        """
+        start = 0
+        total = len(misses)
+        while start < total:
+            width = self._pad_width(caught[misses[start]].num_nodes)
+            end = start + 1
+            while (
+                end < total
+                and end - start < self.batch_size
+                and self._pad_width(caught[misses[end]].num_nodes) == width
+            ):
+                end += 1
+            yield misses[start:end], width
+            start = end
+
+    def _chunk_features(self, chunk_plans) -> Optional[List[np.ndarray]]:
+        """Per-plan ``encode_plan`` arrays for one chunk, memoized.
+
+        Hits come from the fingerprint-keyed encoding memo; misses are
+        computed — through ``encode_fanout`` when installed — and stored
+        read-only.  Returns None when fingerprints are unsafe (the
+        encoder reads predicate literals the fingerprint does not
+        cover), letting ``encode_batch`` do the work directly.
+        """
+        if not self._fingerprint_safe:
+            if self.encode_fanout is not None:
+                return self.encode_fanout(chunk_plans)
+            return None
+        features = [
+            self._encodings.get(plan.fingerprint()) for plan in chunk_plans
+        ]
+        missing = [i for i, arr in enumerate(features) if arr is None]
+        if missing:
+            miss_plans = [chunk_plans[i] for i in missing]
+            if self.encode_fanout is not None:
+                computed = self.encode_fanout(miss_plans)
+            else:
+                computed = [
+                    self.encoder.encode_plan(plan) for plan in miss_plans
+                ]
+            for index, array in zip(missing, computed):
+                array.flags.writeable = False
+                features[index] = array
+                self._encodings.put(
+                    chunk_plans[index].fingerprint(), array
+                )
+        return features
 
     # ------------------------------------------------------------------ #
     # Core cached/batched inference over caught plans
@@ -146,30 +264,38 @@ class EstimatorService:
             # on one computation instead of each missing independently.
             pending: Dict[Tuple[str, str], int] = {}
             duplicates: Dict[int, List[int]] = {}
+            # With storage disabled (capacity 0) every lookup misses by
+            # definition: skip the per-plan mutex round trips and record
+            # the misses in one stroke after the scan.
+            cache_on = self._cache.capacity > 0
             for index, plan in enumerate(caught):
                 key = (kind, plan.fingerprint())
                 if self._fingerprint_safe and key in pending:
                     duplicates.setdefault(pending[key], []).append(index)
                     self._cache.stats.record_hit()
                     continue
-                entry = self._cache.get(key)
+                entry = self._cache.get(key) if cache_on else None
                 if entry is not None:
                     results[index] = entry
                 else:
                     if self._fingerprint_safe:
                         pending[key] = index
                     misses.append(index)
+            if not cache_on and misses:
+                self._cache.stats.record_miss(len(misses))
             if misses:
                 # Sort by node count so padding inside each chunk stays
                 # small.
                 misses.sort(key=lambda index: caught[index].num_nodes)
-                for start in range(0, len(misses), self.batch_size):
-                    chunk = misses[start:start + self.batch_size]
+                for chunk, pad_to in self._iter_chunks(misses, caught):
                     self._batch_sizes.observe(len(chunk))
+                    chunk_plans = [caught[index] for index in chunk]
                     with self.metrics.span("serve.encode_seconds"):
                         batch = self.encoder.encode_batch(
-                            [caught[index] for index in chunk],
+                            chunk_plans,
                             with_labels=False,
+                            pad_to=pad_to,
+                            node_features=self._chunk_features(chunk_plans),
                         )
                     with self.metrics.span("serve.forward_seconds"):
                         output = forward(batch)
@@ -180,12 +306,14 @@ class EstimatorService:
                         # Validate before insert: a NaN/inf prediction must
                         # never become a sticky cache entry that keeps
                         # answering long after the fault has passed.
-                        if np.all(np.isfinite(value)):
-                            self._cache.put(
-                                (kind, caught[index].fingerprint()), value
-                            )
-                        else:
-                            self._cache.stats.record_rejection()
+                        if cache_on:
+                            if np.all(np.isfinite(value)):
+                                self._cache.put(
+                                    (kind, caught[index].fingerprint()),
+                                    value,
+                                )
+                            else:
+                                self._cache.stats.record_rejection()
                         for dup in duplicates.get(index, ()):
                             results[dup] = value
         return results  # type: ignore[return-value]
@@ -217,7 +345,16 @@ class EstimatorService:
 
     def predict_plans(self, plans: Sequence[PlanNode]) -> np.ndarray:
         """Predicted latency (ms) per plan, batched and cached."""
-        logs = self._node_logs([catch_plan(plan) for plan in plans])
+        return self.predict_caught([catch_plan(plan) for plan in plans])
+
+    def predict_caught(self, caught: Sequence[CaughtPlan]) -> np.ndarray:
+        """``predict_plans`` for already-caught plans.
+
+        Lets front-ends that snapshot plans on their own threads (the
+        concurrent pool catches at submit time) skip the per-request
+        catch + fingerprint work on the serialized drain path.
+        """
+        logs = self._node_logs(caught)
         return np.exp(np.array([entry[0] for entry in logs]))
 
     def predict_subplans(self, plan: PlanNode) -> np.ndarray:

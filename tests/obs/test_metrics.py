@@ -165,3 +165,157 @@ class TestNullRegistry:
         assert NULL_REGISTRY.counter("a").value == 0
         assert NULL_REGISTRY.histogram("c").count == 0
         assert NULL_REGISTRY.trace == []
+
+
+class TestObserveMany:
+    def test_matches_sequential_observes(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0005, 50.0, size=2000).tolist()
+        one_by_one = Histogram("a")
+        for value in values:
+            one_by_one.observe(value)
+        batched = Histogram("b")
+        batched.observe_many(values)
+        assert batched.count == one_by_one.count
+        assert batched.sum == pytest.approx(one_by_one.sum)
+        assert batched.min == one_by_one.min
+        assert batched.max == one_by_one.max
+        assert batched.bucket_counts() == one_by_one.bucket_counts()
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert batched.quantile(q) == pytest.approx(one_by_one.quantile(q))
+
+    def test_empty_batch_is_noop(self):
+        histogram = Histogram("h")
+        histogram.observe_many([])
+        assert histogram.count == 0
+
+
+class TestThreadSafety:
+    """Regression tests for lost updates under free-threaded serving.
+
+    A bare ``self._value += amount`` is a read-modify-write across several
+    bytecodes; with the serving pool incrementing shared counters from
+    many threads, two increments could interleave and one would vanish.
+    The metric primitives now take a per-metric lock, and these tests
+    hammer them with the interpreter switch interval dialed down to ~10us
+    so any unlocked window is actually exercised.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fast_switching(self):
+        import sys
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        yield
+        sys.setswitchinterval(previous)
+
+    @staticmethod
+    def _run_threads(count, target):
+        import threading
+        barrier = threading.Barrier(count)
+
+        def wrapped(index):
+            barrier.wait()
+            target(index)
+
+        threads = [
+            threading.Thread(target=wrapped, args=(i,)) for i in range(count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_loses_no_updates(self):
+        counter = Counter("c")
+        per_thread = 50_000
+
+        def worker(_index):
+            for _ in range(per_thread):
+                counter.inc()
+
+        self._run_threads(2, worker)
+        assert counter.value == 2 * per_thread
+
+    def test_gauge_inc_dec_balance(self):
+        gauge = Gauge("g")
+
+        def worker(index):
+            for _ in range(20_000):
+                if index % 2:
+                    gauge.inc()
+                else:
+                    gauge.dec()
+
+        self._run_threads(4, worker)
+        assert gauge.value == 0.0
+
+    def test_histogram_observe_many_under_contention(self):
+        histogram = Histogram("h")
+        per_thread, chunk = 4000, 25
+
+        def worker(index):
+            base = [0.001 * (index + 1)] * chunk
+            for _ in range(per_thread // chunk):
+                histogram.observe_many(base)
+                histogram.observe(1.0)
+
+        threads = 4
+        self._run_threads(threads, worker)
+        expected = threads * (per_thread + per_thread // chunk)
+        assert histogram.count == expected
+        assert sum(histogram.bucket_counts()) == expected
+
+    def test_registry_create_race_yields_one_metric(self):
+        registry = MetricsRegistry()
+        seen = [None] * 8
+
+        def worker(index):
+            seen[index] = registry.counter("shared")
+            seen[index].inc()
+
+        self._run_threads(8, worker)
+        assert all(metric is seen[0] for metric in seen)
+        assert registry.counter("shared").value == 8
+
+
+class TestSerialization:
+    """Locks are process-local: pickling drops them and restores fresh
+    ones, so a DACE estimator carrying live metrics stays deepcopy-able.
+    """
+
+    def test_counter_roundtrip(self):
+        import pickle
+        counter = Counter("c", help="h")
+        counter.inc(7)
+        clone = pickle.loads(pickle.dumps(counter))
+        assert clone.value == 7
+        assert clone.name == "c"
+        clone.inc(1)  # lock was recreated, inc still works
+        assert clone.value == 8
+        assert counter.value == 7
+
+    def test_histogram_roundtrip(self):
+        import pickle
+        histogram = Histogram("h")
+        histogram.observe_many([0.1, 1.0, 10.0])
+        clone = pickle.loads(pickle.dumps(histogram))
+        assert clone.count == 3
+        assert clone.bucket_counts() == histogram.bucket_counts()
+        clone.observe(2.0)
+        assert clone.count == 4
+        assert histogram.count == 3
+
+    def test_registry_roundtrip(self):
+        import copy
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        with registry.span("s"):
+            pass
+        clone = copy.deepcopy(registry)
+        assert clone.counter("a").value == 3
+        clone.counter("a").inc()
+        assert clone.counter("a").value == 4
+        assert registry.counter("a").value == 3
+        with clone.span("t"):  # thread-local span stack was recreated
+            pass

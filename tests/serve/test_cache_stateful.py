@@ -1,0 +1,119 @@
+"""Stateful property test: LRUCache vs an executable model.
+
+Hypothesis drives random ``put``/``get``/``clear``/``contains`` sequences
+against both the real :class:`repro.serve.LRUCache` and a transparent
+model (an ``OrderedDict`` plus plain counters), then asserts after every
+step that the two agree on contents, recency order, capacity pressure,
+and hit/miss/eviction accounting.  This is the shrinking counterpart of
+the thread hammer in ``test_concurrency.py``: the hammer finds torn
+state, this finds logic bugs (wrong eviction victim, recency not bumped
+on refresh, counters drifting) and reports the minimal repro sequence.
+
+Values are read-only numpy arrays, exactly as the serving layer stores
+them, so the test also guards the no-poisoning contract: a cached array
+can never be written through, before or after round-tripping the cache.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.serve import LRUCache
+
+KEYS = st.integers(min_value=0, max_value=15)
+
+
+def _frozen(seed: int) -> np.ndarray:
+    array = np.full(3, float(seed))
+    array.flags.writeable = False
+    return array
+
+
+class CacheModel(RuleBasedStateMachine):
+    @initialize(capacity=st.integers(min_value=0, max_value=6))
+    def build(self, capacity):
+        self.cache = LRUCache(capacity=capacity)
+        self.capacity = capacity
+        # Model: insertion/recency order lives in the OrderedDict itself.
+        self.model = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @rule(key=KEYS)
+    def put(self, key):
+        value = _frozen(key)
+        self.cache.put(key, value)
+        if self.capacity == 0:
+            return
+        if key in self.model:
+            self.model.move_to_end(key)
+        self.model[key] = value
+        while len(self.model) > self.capacity:
+            self.model.popitem(last=False)
+            self.evictions += 1
+
+    @rule(key=KEYS)
+    def get(self, key):
+        value = self.cache.get(key)
+        if key in self.model:
+            self.hits += 1
+            self.model.move_to_end(key)
+            expected = self.model[key]
+            assert value is expected
+            assert not value.flags.writeable
+            with pytest.raises(ValueError):
+                value[0] = -1.0
+        else:
+            self.misses += 1
+            assert value is None
+
+    @rule(key=KEYS)
+    def contains(self, key):
+        # Membership is a pure read: no recency bump, no stats.
+        before = (self.cache.stats.hits, self.cache.stats.misses)
+        assert (key in self.cache) == (key in self.model)
+        assert (self.cache.stats.hits, self.cache.stats.misses) == before
+
+    @precondition(lambda self: len(self.model) > 0)
+    @rule()
+    def clear(self):
+        self.cache.clear()
+        self.model.clear()
+
+    @invariant()
+    def same_contents_and_order(self):
+        if not hasattr(self, "cache"):
+            return  # before initialize
+        assert len(self.cache) == len(self.model)
+        if self.capacity > 0:
+            assert len(self.cache) <= self.capacity
+        # The real cache exposes recency through eviction: the model's
+        # key order must match the internal OrderedDict exactly.
+        assert list(self.cache._entries) == list(self.model)
+
+    @invariant()
+    def accounting_matches(self):
+        if not hasattr(self, "cache"):
+            return
+        stats = self.cache.stats
+        assert stats.hits == self.hits
+        assert stats.misses == self.misses
+        assert stats.evictions == self.evictions
+        assert stats.lookups == self.hits + self.misses
+
+
+TestCacheModel = CacheModel.TestCase
+TestCacheModel.settings = settings(
+    max_examples=120, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,374 @@
+"""Race-hunting stress suite for the concurrent serving stack.
+
+Every test here uses barrier-synchronized threads so contention starts at
+the worst possible moment, and runs with a tiny interpreter switch
+interval so the GIL rotates mid-operation as often as possible.  The
+invariants checked are the ones a lost update or a stranded handle would
+break:
+
+- cache accounting balances (``hits + misses == lookups``) and no
+  written entry is lost;
+- every ``PendingPrediction``/``PoolPrediction`` resolves or rejects —
+  none hang;
+- concurrent results are byte-identical to the serial path.
+
+``REPRO_STRESS_SEED`` (int) reshuffles the plan orderings so repeated CI
+runs explore different interleavings; the default is 0.
+"""
+
+import os
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DACEModel
+from repro.featurize import PlanEncoder, catch_plan
+from repro.serve import (
+    ConcurrentEstimatorService,
+    EstimatorService,
+    LRUCache,
+    MicroBatcher,
+)
+
+STRESS_SEED = int(os.environ.get("REPRO_STRESS_SEED", "0"))
+THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def setup(train_datasets):
+    plans = [s.plan for s in train_datasets[0]]
+    caught = [catch_plan(p) for p in plans]
+    encoder = PlanEncoder().fit(caught)
+    model = DACEModel(rng=np.random.default_rng(21))
+    rng = np.random.default_rng(STRESS_SEED)
+    order = rng.permutation(len(plans))
+    shuffled = [plans[i] for i in order]
+    return model, encoder, shuffled
+
+
+@pytest.fixture()
+def fast_switching():
+    """Force GIL handoffs every ~10us so races have room to happen."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def _hammer(workers, target):
+    """Run ``target(worker_index)`` on N threads behind a start barrier,
+    re-raising the first worker exception (threads must not die silently).
+    """
+    barrier = threading.Barrier(workers)
+    errors = []
+
+    def wrapped(index):
+        barrier.wait()
+        try:
+            target(index)
+        except BaseException as error:  # noqa: BLE001 - reported below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return True
+
+
+class TestServiceHammer:
+    def test_concurrent_predictions_bitwise_equal_serial(
+        self, setup, fast_switching
+    ):
+        model, encoder, plans = setup
+        serial = EstimatorService(model, encoder, batch_size=16,
+                                  cache_size=0)
+        reference = serial.predict_plans(plans)
+        service = EstimatorService(model, encoder, batch_size=16,
+                                   cache_size=len(plans))
+        results = [None] * THREADS
+
+        def client(index):
+            # Every thread predicts the full workload in its own rotated
+            # order, so cache hits and misses interleave across threads.
+            rotated = plans[index:] + plans[:index]
+            out = np.empty(len(plans))
+            for position, plan in enumerate(rotated):
+                out[(position + index) % len(plans)] = (
+                    service.predict_plan(plan)
+                )
+            results[index] = out
+
+        _hammer(THREADS, client)
+        for out in results:
+            np.testing.assert_array_equal(out, reference)
+
+    def test_cache_accounting_balances(self, setup, fast_switching):
+        model, encoder, plans = setup
+        service = EstimatorService(model, encoder, batch_size=16,
+                                   cache_size=len(plans))
+        per_thread = len(plans)
+
+        def client(index):
+            rotated = plans[index:] + plans[:index]
+            for plan in rotated:
+                service.predict_plan(plan)
+
+        _hammer(THREADS, client)
+        stats = service.cache_stats
+        # Every request is exactly one lookup; a lost update under
+        # contention would break the balance.
+        assert stats.hits + stats.misses == THREADS * per_thread
+        # The cache holds every distinct fingerprint: after the first
+        # resolution of a plan, no further miss for it may be recorded.
+        distinct = len({catch_plan(p).fingerprint() for p in plans})
+        assert stats.misses <= distinct * THREADS  # no runaway misses
+        assert stats.hits >= THREADS * per_thread - distinct * THREADS
+
+
+class TestMicroBatcherHammer:
+    def test_all_handles_resolve(self, setup, fast_switching):
+        model, encoder, plans = setup
+        service = EstimatorService(model, encoder, batch_size=16,
+                                   cache_size=0)
+        reference = {
+            id(plan): value
+            for plan, value in zip(plans, service.predict_plans(plans))
+        }
+        batcher = MicroBatcher(service, max_batch=8)
+        handles = [[] for _ in range(THREADS)]
+
+        def client(index):
+            rotated = plans[index:] + plans[:index]
+            for plan in rotated[:30]:
+                handles[index].append((plan, batcher.submit(plan)))
+                if len(handles[index]) % 5 == 0:
+                    batcher.flush()
+
+        _hammer(THREADS, client)
+        batcher.flush()
+        for bucket in handles:
+            for plan, handle in bucket:
+                assert handle.result() == reference[id(plan)]
+        assert batcher.pending == 0
+
+    def test_failing_flush_rejects_instead_of_hanging(
+        self, setup, fast_switching
+    ):
+        model, encoder, plans = setup
+
+        class FlakyEstimator:
+            """Raises on every other batch."""
+
+            def __init__(self, service):
+                self.service = service
+                self.calls = 0
+                self._mutex = threading.Lock()
+
+            def predict_plans(self, batch):
+                with self._mutex:
+                    self.calls += 1
+                    fail = self.calls % 2 == 0
+                if fail:
+                    raise RuntimeError("injected flush failure")
+                return self.service.predict_plans(batch)
+
+        flaky = FlakyEstimator(
+            EstimatorService(model, encoder, batch_size=16, cache_size=0)
+        )
+        batcher = MicroBatcher(flaky, max_batch=4)
+        outcomes = [[] for _ in range(THREADS)]
+
+        def client(index):
+            rotated = plans[index:] + plans[:index]
+            for plan in rotated[:20]:
+                handle = batcher.submit(plan)
+                try:
+                    outcomes[index].append(("ok", handle.result()))
+                except RuntimeError as error:
+                    outcomes[index].append(("rejected", error))
+
+        _hammer(THREADS, client)
+        # The real invariant: every submission reached a terminal state
+        # (no hang — the test finishing at all proves it) and rejected
+        # handles carry the injected error.
+        for bucket in outcomes:
+            assert len(bucket) == 20
+            for kind, payload in bucket:
+                if kind == "rejected":
+                    assert "injected flush failure" in str(payload)
+
+
+class TestCacheHammer:
+    def test_no_lost_entries(self, fast_switching):
+        cache = LRUCache(capacity=THREADS * 50)
+        per_thread = 50
+
+        def client(index):
+            for i in range(per_thread):
+                key = (index, i)
+                cache.put(key, index * 1000 + i)
+                assert cache.get(key) == index * 1000 + i
+
+        _hammer(THREADS, client)
+        # Capacity covers every insert: nothing may have been evicted or
+        # lost, and the recency list must agree with the entry count.
+        assert len(cache) == THREADS * per_thread
+        for index in range(THREADS):
+            for i in range(per_thread):
+                assert cache.get((index, i)) == index * 1000 + i
+        assert cache.stats.evictions == 0
+
+    def test_capacity_respected_under_contention(self, fast_switching):
+        cache = LRUCache(capacity=16)
+
+        def client(index):
+            for i in range(200):
+                cache.put((index, i % 32), i)
+                cache.get((index, (i + 7) % 32))
+                assert len(cache) <= 16
+
+        _hammer(THREADS, client)
+        assert len(cache) <= 16
+        lookups = cache.stats.hits + cache.stats.misses
+        assert lookups == THREADS * 200
+
+
+class TestPoolHammer:
+    def test_pool_bitwise_equal_serial(self, setup, fast_switching):
+        model, encoder, plans = setup
+        serial = EstimatorService(model, encoder, batch_size=16,
+                                  cache_size=0)
+        reference = serial.predict_plans(plans)
+        service = EstimatorService(model, encoder, batch_size=16,
+                                   cache_size=0)
+        results = [None] * THREADS
+        with ConcurrentEstimatorService(service, workers=4) as pool:
+
+            def client(index):
+                rotated_idx = list(range(index, len(plans))) + list(
+                    range(index)
+                )
+                out = np.empty(len(plans))
+                for i in rotated_idx:
+                    out[i] = pool.predict_plan(plans[i])
+                results[index] = out
+
+            _hammer(THREADS, client)
+        for out in results:
+            np.testing.assert_array_equal(out, reference)
+
+    def test_every_submission_is_accounted(self, setup, fast_switching):
+        model, encoder, plans = setup
+        service = EstimatorService(model, encoder, batch_size=16,
+                                   cache_size=0)
+        total = THREADS * 40
+        with ConcurrentEstimatorService(service, workers=4) as pool:
+
+            def client(index):
+                rotated = plans[index:] + plans[:index]
+                handles = [pool.submit(plan) for plan in rotated[:40]]
+                for handle in handles:
+                    handle.result(timeout=60)
+                    assert handle.done and not handle.failed
+
+            _hammer(THREADS, client)
+            requests = pool.metrics.counter("serve.pool.requests").value
+            flushes = pool.metrics.histogram("serve.pool.flush_size")
+            assert requests == total
+            assert flushes.count >= 1
+            assert int(flushes.sum) == total
+
+    def test_submit_after_close_raises(self, setup):
+        model, encoder, plans = setup
+        service = EstimatorService(model, encoder, batch_size=16)
+        pool = ConcurrentEstimatorService(service, workers=2)
+        assert pool.predict_plan(plans[0]) > 0
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(plans[0])
+
+    def test_failing_service_rejects_all_handles(self, setup,
+                                                 fast_switching):
+        model, encoder, plans = setup
+
+        class ExplodingService:
+            batch_size = 8
+            metrics = None
+
+            def predict_plans(self, batch):
+                raise ValueError("boom")
+
+        with ConcurrentEstimatorService(
+            ExplodingService(), workers=4
+        ) as pool:
+
+            def client(index):
+                handle = pool.submit(plans[index])
+                with pytest.raises(ValueError, match="boom"):
+                    handle.result(timeout=60)
+                assert handle.failed
+                assert isinstance(handle.exception(), ValueError)
+
+            _hammer(THREADS, client)
+
+
+class TestDeterminism:
+    """Satellite (d): worker count must never show up in the bits."""
+
+    def test_workers_8_vs_1_vs_plain_service(self, setup):
+        model, encoder, plans = setup
+        sample = (plans * 2)[:200]
+        plain = EstimatorService(model, encoder, batch_size=16,
+                                 cache_size=0)
+        reference = plain.predict_plans(sample)
+
+        for workers in (1, 8):
+            service = EstimatorService(model, encoder, batch_size=16,
+                                       cache_size=0)
+            with ConcurrentEstimatorService(
+                service, workers=workers
+            ) as pool:
+                out = [0.0] * len(sample)
+                barrier = threading.Barrier(workers)
+
+                def client(offset, workers=workers, pool=pool, out=out):
+                    barrier.wait()
+                    for i in range(offset, len(sample), workers):
+                        out[i] = pool.predict_plan(sample[i])
+
+                threads = [
+                    threading.Thread(target=client, args=(offset,))
+                    for offset in range(workers)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            np.testing.assert_array_equal(np.asarray(out), reference)
+
+    def test_batch_composition_does_not_change_bits(self, setup):
+        """The padding buckets make each plan's forward independent of
+        its batch neighbours: single-plan calls, odd-sized batches, and
+        one big batch all answer identically."""
+        model, encoder, plans = setup
+        subset = plans[:24]
+        service = EstimatorService(model, encoder, batch_size=16,
+                                   cache_size=0)
+        whole = service.predict_plans(subset)
+        singles = np.array(
+            [service.predict_plan(plan) for plan in subset]
+        )
+        np.testing.assert_array_equal(singles, whole)
+        chunked = np.concatenate([
+            service.predict_plans(subset[start:start + 5])
+            for start in range(0, len(subset), 5)
+        ])
+        np.testing.assert_array_equal(chunked, whole)

@@ -76,6 +76,38 @@ class TestGoldenServe:
         )
         assert not resilient.last_degraded.any()
 
+    def test_worker_pool_matches_golden(self, golden_setup):
+        """Concurrent serving is anchored to the same golden file as the
+        serial path: eight closed-loop clients on an 8-worker pool must
+        reproduce the serial predictions bit-for-bit (and hence the
+        golden values at the same tolerance)."""
+        import threading
+
+        from repro.serve import ConcurrentEstimatorService
+
+        dace, plans, predictions = golden_setup
+        golden = np.load(GOLDEN_PATH)["predictions"]
+        out = np.empty(len(plans))
+        clients = 8
+        with ConcurrentEstimatorService(dace.service, workers=8) as pool:
+            barrier = threading.Barrier(clients)
+
+            def client(offset):
+                barrier.wait()
+                for i in range(offset, len(plans), clients):
+                    out[i] = pool.predict_plan(plans[i])
+
+            threads = [
+                threading.Thread(target=client, args=(offset,))
+                for offset in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        np.testing.assert_array_equal(out, predictions)
+        np.testing.assert_allclose(out, golden, rtol=1e-7)
+
     def test_golden_values_are_sane(self):
         golden = np.load(GOLDEN_PATH)["predictions"]
         assert np.all(np.isfinite(golden))
