@@ -161,6 +161,15 @@ class ChaosEstimator(_ChaosBase):
         values = self._inner.predict_plans(plans)
         return self._corrupt(values) if kind == "nan" else values
 
+    def predict_caught(self, caught) -> np.ndarray:
+        """Faulted ``predict_caught``: defined on the class so the caught
+        fast path (probed via the MRO) cannot slip past injection through
+        plain ``__getattr__`` delegation."""
+        kind = self._roll()
+        self._fire(kind)
+        values = self._inner.predict_caught(caught)
+        return self._corrupt(values) if kind == "nan" else values
+
     def predict(self, dataset) -> np.ndarray:
         kind = self._roll()
         self._fire(kind)

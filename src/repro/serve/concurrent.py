@@ -60,6 +60,36 @@ from repro.obs import MetricsRegistry
 MIN_FANOUT_PLANS = 16
 
 
+def _defined_on_class(obj, name: str) -> bool:
+    """True when ``name`` is a real method of ``obj``'s class.
+
+    ``hasattr`` is the wrong probe for optional fast paths: delegating
+    wrappers (ResilientEstimator, ChaosEstimator) answer True through
+    ``__getattr__`` while the attribute fetched is the *inner* object's
+    bound method — calling it would silently skip the wrapper's tiers.
+    """
+    return any(name in klass.__dict__ for klass in type(obj).__mro__)
+
+
+def _fanout_consumer(service):
+    """The object that actually reads the ``encode_fanout`` hook.
+
+    Walks the known delegation links (``estimator``, ``_inner``,
+    ``service``) down to the instance that owns an ``encode_fanout``
+    attribute — setting the hook on a delegating wrapper would satisfy
+    ``getattr`` but never be seen by the underlying EstimatorService.
+    """
+    node, seen = service, set()
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        state = getattr(node, "__dict__", {})
+        if "encode_fanout" in state:
+            return node
+        node = (state.get("estimator") or state.get("_inner")
+                or state.get("service"))
+    return None
+
+
 class PoolPrediction:
     """Handle for a plan submitted to the pool; ``result()`` blocks.
 
@@ -136,6 +166,10 @@ class ConcurrentEstimatorService:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_batch is not None and max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if min_fanout < 2:
+            # The fan-out split divides by min_fanout // 2; below 2 the
+            # per-plan pool overhead swamps the encode anyway.
+            raise ValueError(f"min_fanout must be >= 2, got {min_fanout}")
         self.service = service
         self.workers = workers
         # Usually an EstimatorService, but any estimator works (e.g. a
@@ -170,9 +204,21 @@ class ConcurrentEstimatorService:
         # (flushes of one) never waits.
         self.gather_s = 0.0005
         self._last_flush = 1
-        if (workers > 1
-                and getattr(service, "encode_fanout", "absent") is None):
-            service.encode_fanout = self._fanout_encode
+        # One bound-method object for the hook's whole lifetime: every
+        # `self._fanout_encode` access builds a *new* bound method, so
+        # install/detach/deepcopy identity tests must all go through this
+        # single stored reference.
+        self._fanout_hook = self._fanout_encode
+        # Install on the object that actually consumes the hook (the
+        # underlying EstimatorService when `service` is a delegating
+        # wrapper), and remember it so close() detaches from the same
+        # place.
+        self._fanout_target = None
+        if workers > 1:
+            target = _fanout_consumer(service)
+            if target is not None and target.encode_fanout is None:
+                target.encode_fanout = self._fanout_hook
+                self._fanout_target = target
         # Identity-keyed catch memo: closed-loop callers resubmit the
         # same PlanNode objects, and re-snapshotting one costs ~40us of
         # pure recomputation per request.  Entries hold a strong
@@ -183,7 +229,12 @@ class ConcurrentEstimatorService:
         self._catch_memo: "OrderedDict[int, tuple]" = OrderedDict()
         self._catch_memo_capacity = 4096
         self._catch_lock = threading.Lock()  # leaf; never nested outward
-        self._can_serve_caught = hasattr(service, "predict_caught")
+        # MRO probe, not hasattr: a delegating wrapper would pass
+        # hasattr while handing back the inner service's bound method,
+        # silently bypassing its retry/breaker/chaos tiers.  Wrappers
+        # that genuinely support the caught path (ResilientEstimator,
+        # ChaosEstimator) define predict_caught on their class.
+        self._can_serve_caught = _defined_on_class(service, "predict_caught")
         self._workers_gauge = self.metrics.gauge(
             "serve.pool.workers", help="threads in the serving pool"
         )
@@ -351,9 +402,14 @@ class ConcurrentEstimatorService:
             self._closed = True
             self._work.notify_all()  # lingering leaders exit promptly
         self._pool.shutdown(wait=True)
-        if getattr(self.service, "encode_fanout", None) is (
-                self._fanout_encode):
-            self.service.encode_fanout = None
+        # Detach using the stored hook object: a fresh
+        # `self._fanout_encode` bound method would never compare `is`
+        # equal, leaving the consumer submitting to a dead executor.
+        target = self._fanout_target
+        if (target is not None
+                and target.encode_fanout is self._fanout_hook):
+            target.encode_fanout = None
+        self._fanout_target = None
 
     def __enter__(self) -> "ConcurrentEstimatorService":
         return self
@@ -364,7 +420,12 @@ class ConcurrentEstimatorService:
     def __deepcopy__(self, memo) -> "ConcurrentEstimatorService":
         # A pool is runtime machinery (executor threads, condition
         # variables): copying means building a fresh pool around a copy
-        # of the wrapped service, not duplicating live threads.
+        # of the wrapped service, not duplicating live threads.  The
+        # service's encode_fanout holds our bound hook, whose __self__
+        # is this pool — map it to None up front so copying the service
+        # cannot re-enter here and build a hidden second pool; the
+        # clone's constructor installs its own hook on the copy.
+        memo[id(self._fanout_hook)] = None
         service = copy.deepcopy(self.service, memo)
         clone = ConcurrentEstimatorService(
             service,

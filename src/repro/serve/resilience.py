@@ -223,6 +223,17 @@ class CostFallback:
         costs = np.array([plan.est_cost for plan in plans], dtype=np.float64)
         return np.exp(self._log_latency(costs))
 
+    def predict_caught(self, caught) -> np.ndarray:
+        """``predict_plans`` for already-caught plans.
+
+        ``est_costs`` is pre-order DFS, so index 0 is the plan root —
+        the same cost ``predict_plans`` reads off ``plan.est_cost``.
+        """
+        costs = np.array(
+            [plan.est_costs[0] for plan in caught], dtype=np.float64
+        )
+        return np.exp(self._log_latency(costs))
+
     def predict_plan(self, plan: PlanNode) -> float:
         return float(self.predict_plans([plan])[0])
 
@@ -360,13 +371,11 @@ class ResilientEstimator:
         self._rng_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
-    def _validated(self, plans: Sequence[PlanNode]) -> np.ndarray:
-        values = np.asarray(
-            self.estimator.predict_plans(plans), dtype=np.float64
-        )
-        if values.shape != (len(plans),):
+    def _validated(self, values, count: int) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (count,):
             raise PredictionError(
-                f"expected shape ({len(plans)},), got {values.shape}"
+                f"expected shape ({count},), got {values.shape}"
             )
         if not np.all(np.isfinite(values)):
             bad = int(np.count_nonzero(~np.isfinite(values)))
@@ -380,28 +389,26 @@ class ResilientEstimator:
             draw = float(self._rng.random())
         return base * (1.0 + self.jitter * draw)
 
-    def _degrade(self, plans: Sequence[PlanNode]) -> Tuple[np.ndarray, np.ndarray]:
-        values = np.asarray(
-            self.fallback.predict_plans(plans), dtype=np.float64
-        )
-        self._degraded.inc(len(plans))
-        self._predictions.inc(len(plans))
-        flags = np.ones(len(plans), dtype=bool)
+    def _degrade(self, fallback_call, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        values = np.asarray(fallback_call(), dtype=np.float64)
+        self._degraded.inc(count)
+        self._predictions.inc(count)
+        flags = np.ones(count, dtype=bool)
         self._last_degraded = flags
         return values, flags.copy()
 
-    def predict_plans_detailed(
-        self, plans: Sequence[PlanNode]
+    def _tiered(
+        self, count: int, attempt_call, fallback_call
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """``(latencies_ms, degraded_flags)`` for a batch of plans.
+        """The three-tier request path over abstract attempt/fallback calls.
 
-        Never raises on inner-estimator failure: after the retry budget,
-        the deadline, or an open breaker, the whole batch resolves from
-        the fallback tier with every flag set.
+        ``attempt_call`` runs the learned path (validated per attempt);
+        ``fallback_call`` produces the degraded answer.  Both close over
+        the same batch, so every entry point — plain plans or pre-caught
+        plans — goes through the identical retry/breaker/degrade logic.
         """
-        plans = list(plans)
         self._requests.inc()
-        if not plans:
+        if not count:
             self._last_degraded = np.zeros(0, dtype=bool)
             return np.zeros(0, dtype=np.float64), self._last_degraded.copy()
         start = self._clock()
@@ -421,7 +428,7 @@ class ResilientEstimator:
                 break
             self._attempts.inc()
             try:
-                values = self._validated(plans)
+                values = self._validated(attempt_call(), count)
             except Exception:
                 self._failures.inc()
                 self.breaker.record_failure()
@@ -429,12 +436,59 @@ class ResilientEstimator:
             self.breaker.record_success()
             if retried:
                 self._retry_latency.observe(self._clock() - start)
-            self._predictions.inc(len(plans))
-            self._last_degraded = np.zeros(len(plans), dtype=bool)
+            self._predictions.inc(count)
+            self._last_degraded = np.zeros(count, dtype=bool)
             return values, self._last_degraded.copy()
         if retried:
             self._retry_latency.observe(self._clock() - start)
-        return self._degrade(plans)
+        return self._degrade(fallback_call, count)
+
+    def predict_plans_detailed(
+        self, plans: Sequence[PlanNode]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(latencies_ms, degraded_flags)`` for a batch of plans.
+
+        Never raises on inner-estimator failure: after the retry budget,
+        the deadline, or an open breaker, the whole batch resolves from
+        the fallback tier with every flag set.
+        """
+        plans = list(plans)
+        return self._tiered(
+            len(plans),
+            lambda: self.estimator.predict_plans(plans),
+            lambda: self.fallback.predict_plans(plans),
+        )
+
+    def predict_caught(self, caught) -> np.ndarray:
+        """``predict_plans`` for already-caught plans, same three tiers.
+
+        Defined on the class (not via ``__getattr__`` delegation) so
+        front-ends probing for the caught fast path — the concurrent
+        pool checks the MRO — route it through retry, breaker, and
+        fallback instead of reaching the wrapped estimator directly.
+        An inner estimator without ``predict_caught`` surfaces as an
+        ``AttributeError`` on the learned path and degrades like any
+        other failure.
+        """
+        caught = list(caught)
+        fallback_caught = getattr(self.fallback, "predict_caught", None)
+        if fallback_caught is not None:
+            def degrade():
+                return fallback_caught(caught)
+        else:
+            # Custom fallback tiers predate the caught path: a caught
+            # plan keeps its root PlanNode at nodes[0], so hand those
+            # back rather than fail the tier of last resort.
+            def degrade():
+                return self.fallback.predict_plans(
+                    [plan.nodes[0] for plan in caught]
+                )
+        values, _ = self._tiered(
+            len(caught),
+            lambda: self.estimator.predict_caught(caught),
+            degrade,
+        )
+        return values
 
     # ------------------------------------------------------------------ #
     # Estimator protocol

@@ -27,6 +27,11 @@ class EchoEstimator:
     def predict_plans(self, plans):
         return np.array([plan.est_cost for plan in plans], dtype=np.float64)
 
+    def predict_caught(self, caught):
+        return np.array(
+            [plan.est_costs[0] for plan in caught], dtype=np.float64
+        )
+
     def predict(self, dataset):
         return self.predict_plans([sample.plan for sample in dataset])
 
@@ -133,6 +138,28 @@ class TestFullRateAlwaysFaults:
             with pytest.raises(InjectedFault):
                 chaos.predict_plan(_plans(1)[0])
         assert chaos.injected == {"error": 10, "nan": 0, "latency": 0}
+
+    def test_predict_caught_is_injected_too(self):
+        """The caught fast path (used by the concurrent pool) must see
+        the same faults as predict_plans — it is a genuine method, not
+        __getattr__ delegation that would skip injection."""
+        from repro.featurize import catch_plan
+
+        caught = [catch_plan(plan) for plan in _plans()]
+        clean = EchoEstimator().predict_caught(caught)
+        passthrough = ChaosEstimator.with_fault_rate(EchoEstimator(), 0.0)
+        np.testing.assert_array_equal(
+            passthrough.predict_caught(caught), clean
+        )
+        erroring = ChaosEstimator(
+            EchoEstimator(), ChaosConfig(error_rate=1.0)
+        )
+        with pytest.raises(InjectedFault):
+            erroring.predict_caught(caught)
+        corrupting = ChaosEstimator(
+            EchoEstimator(), ChaosConfig(nan_rate=1.0)
+        )
+        assert np.isnan(corrupting.predict_caught(caught)).any()
 
     def test_nan_only_config_always_corrupts(self):
         chaos = ChaosEstimator(EchoEstimator(), ChaosConfig(nan_rate=1.0))

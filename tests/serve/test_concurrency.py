@@ -16,6 +16,7 @@ break:
 runs explore different interleavings; the default is 0.
 """
 
+import copy
 import os
 import sys
 import threading
@@ -25,11 +26,16 @@ import pytest
 
 from repro.core import DACEModel
 from repro.featurize import PlanEncoder, catch_plan
+from repro.obs import MetricsRegistry
 from repro.serve import (
+    ChaosConfig,
+    ChaosEstimator,
     ConcurrentEstimatorService,
+    CostFallback,
     EstimatorService,
     LRUCache,
     MicroBatcher,
+    ResilientEstimator,
 )
 
 STRESS_SEED = int(os.environ.get("REPRO_STRESS_SEED", "0"))
@@ -318,6 +324,124 @@ class TestPoolHammer:
                 assert isinstance(handle.exception(), ValueError)
 
             _hammer(THREADS, client)
+
+
+class TestPoolComposition:
+    """The pool must respect the wrappers it is stacked on: no fast path
+    may sneak past resilience or chaos tiers, and hooks it installs must
+    land on (and be removed from) the object that consumes them."""
+
+    def test_pool_over_resilient_keeps_fault_tolerance(self, setup):
+        model, encoder, plans = setup
+        service = EstimatorService(model, encoder, batch_size=16,
+                                   cache_size=0)
+        # error_rate=1.0: every learned-path call raises, so a correct
+        # composition answers from the cost fallback; the old hasattr
+        # probe reached service.predict_caught directly and answered
+        # healthily with zero injected faults.
+        chaos = ChaosEstimator(service, ChaosConfig(error_rate=1.0, seed=3))
+        resilient = ResilientEstimator(
+            chaos, metrics=MetricsRegistry(), sleep=lambda _s: None
+        )
+        sample = plans[:6]
+        expected = CostFallback().predict_plans(sample)
+        with ConcurrentEstimatorService(resilient, workers=2) as pool:
+            got = np.array([pool.predict_plan(plan) for plan in sample])
+        np.testing.assert_array_equal(got, expected)
+        assert chaos.injected["error"] > 0  # chaos tier actually ran
+        assert resilient.degraded_fraction == 1.0
+
+    def test_caught_fast_path_requires_genuine_method(self, setup):
+        model, encoder, plans = setup
+        service = EstimatorService(model, encoder, batch_size=16)
+
+        class Delegating:
+            """Only delegates; defines no predict_caught of its own."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def predict_plans(self, batch):
+                return self._inner.predict_plans(batch)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        with ConcurrentEstimatorService(
+            Delegating(service), workers=1
+        ) as pool:
+            assert not pool._can_serve_caught
+            assert pool.predict_plan(plans[0]) > 0
+        with ConcurrentEstimatorService(service, workers=1) as pool:
+            assert pool._can_serve_caught  # genuine method: fast path on
+        with ConcurrentEstimatorService(
+            ResilientEstimator(service, metrics=MetricsRegistry()),
+            workers=1,
+        ) as pool:
+            assert pool._can_serve_caught  # resilient defines it natively
+
+    def test_close_detaches_encode_fanout_hook(self, setup):
+        model, encoder, plans = setup
+        service = EstimatorService(model, encoder, batch_size=64,
+                                   cache_size=0)
+        pool = ConcurrentEstimatorService(service, workers=4, min_fanout=2)
+        assert service.encode_fanout is not None
+        assert pool.predict_plan(plans[0]) > 0
+        pool.close()
+        assert service.encode_fanout is None
+        # Direct service traffic after close must not touch the dead
+        # executor (this raised "cannot schedule new futures" before).
+        direct = service.predict_plans(plans)
+        assert np.all(np.isfinite(direct))
+        pool.close()  # idempotent
+
+    def test_fanout_hook_lands_on_underlying_service(self, setup):
+        model, encoder, _plans = setup
+        service = EstimatorService(model, encoder, batch_size=16)
+        resilient = ResilientEstimator(service, metrics=MetricsRegistry())
+        pool = ConcurrentEstimatorService(resilient, workers=4)
+        try:
+            # The consumer is the EstimatorService, not the wrapper: a
+            # hook set on the wrapper would never be read by the encode
+            # path.
+            assert service.encode_fanout is not None
+            assert "encode_fanout" not in vars(resilient)
+        finally:
+            pool.close()
+        assert service.encode_fanout is None
+
+    def test_deepcopy_clone_owns_its_hook(self, setup):
+        model, encoder, plans = setup
+        service = EstimatorService(model, encoder, batch_size=16,
+                                   cache_size=0)
+        pool = ConcurrentEstimatorService(service, workers=4)
+        try:
+            clone = copy.deepcopy(pool)
+            try:
+                assert clone.service is not service
+                # The clone's hook must be bound to the clone itself —
+                # not to a hidden third pool spawned during the copy.
+                assert clone.service.encode_fanout.__self__ is clone
+                assert service.encode_fanout.__self__ is pool
+                np.testing.assert_array_equal(
+                    clone.predict_plans(plans[:4]),
+                    pool.predict_plans(plans[:4]),
+                )
+            finally:
+                clone.close()
+            assert clone.service.encode_fanout is None
+            assert service.encode_fanout is not None  # original intact
+        finally:
+            pool.close()
+
+    def test_min_fanout_validation(self, setup):
+        model, encoder, _plans = setup
+        service = EstimatorService(model, encoder, batch_size=16)
+        for bad in (0, 1, -3):
+            with pytest.raises(ValueError, match="min_fanout"):
+                ConcurrentEstimatorService(
+                    service, workers=2, min_fanout=bad
+                )
 
 
 class TestDeterminism:

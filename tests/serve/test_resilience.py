@@ -209,6 +209,14 @@ class TestCostFallback:
         assert values.shape == (len(train_datasets[0]),)
         assert np.all(np.isfinite(values))
 
+    def test_caught_path_matches_plan_path(self):
+        fallback = CostFallback()
+        plans = [_plan(c) for c in (0.0, 5.0, 1e6)]
+        np.testing.assert_array_equal(
+            fallback.predict_caught([catch_plan(p) for p in plans]),
+            fallback.predict_plans(plans),
+        )
+
 
 # ---------------------------------------------------------------------- #
 # ResilientEstimator tiers
@@ -375,6 +383,61 @@ class TestResilientEstimator:
         stub = StubEstimator()
         stub.custom_marker = "here"
         assert _resilient(stub).custom_marker == "here"
+
+    def test_predict_caught_healthy_path(self):
+        class CaughtStub(StubEstimator):
+            def predict_caught(self, caught):
+                return np.array(
+                    [plan.est_costs[0] + 1.0 for plan in caught]
+                )
+
+        resilient = _resilient(CaughtStub())
+        caught = [catch_plan(_plan(c)) for c in (1.0, 4.0)]
+        values = resilient.predict_caught(caught)
+        np.testing.assert_array_equal(values, [2.0, 5.0])
+        assert not resilient.last_degraded.any()
+
+    def test_predict_caught_exhausted_retries_degrade(self):
+        class FailingCaught(StubEstimator):
+            def predict_caught(self, caught):
+                raise RuntimeError("backend down")
+
+        resilient = _resilient(FailingCaught(), max_retries=1)
+        plan = _plan(100.0)
+        values = resilient.predict_caught([catch_plan(plan)])
+        np.testing.assert_array_equal(
+            values, CostFallback().predict_plans([plan])
+        )
+        assert resilient.last_degraded.all()
+        assert resilient.metrics.counter("resilience.failures").value == 2
+
+    def test_predict_caught_missing_inner_method_degrades(self):
+        # StubEstimator has no predict_caught: the learned-path attempt
+        # fails with AttributeError and the fallback answers — the tier
+        # of last resort also covers estimators that predate the caught
+        # path.
+        resilient = _resilient(StubEstimator(), max_retries=0)
+        plan = _plan(9.0)
+        values = resilient.predict_caught([catch_plan(plan)])
+        np.testing.assert_array_equal(
+            values, CostFallback().predict_plans([plan])
+        )
+        assert resilient.last_degraded.all()
+
+    def test_predict_caught_custom_fallback_without_caught_path(self):
+        class PlanOnlyFallback:
+            def predict_plans(self, plans):
+                return np.array([plan.est_cost * 2.0 for plan in plans])
+
+        class FailingCaught(StubEstimator):
+            def predict_caught(self, caught):
+                raise RuntimeError("backend down")
+
+        resilient = _resilient(
+            FailingCaught(), max_retries=0, fallback=PlanOnlyFallback()
+        )
+        values = resilient.predict_caught([catch_plan(_plan(3.0))])
+        np.testing.assert_array_equal(values, [6.0])
 
     def test_parameter_validation(self):
         stub = StubEstimator()

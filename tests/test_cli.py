@@ -155,3 +155,19 @@ class TestCLI:
         assert "resilience: breaker=" in out
         assert "injected=" in out
         assert "WARNING" not in out
+
+        # Pool over resilient-over-chaos: the worker pool must route
+        # through the fault-tolerance tiers, not reach the inner service
+        # via delegation.  With every call erroring, all predictions
+        # come from the fallback and chaos must show injected faults —
+        # the hasattr-based fast path answered healthily with zero.
+        assert main([
+            "serve", "--model", model_dir, "--workload", workload,
+            "--workers", "2", "--chaos", "1.0", "--chaos-seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pool: workers=2" in out
+        assert "chaos: fault_rate=100%" in out
+        assert "injected={'error': 0" not in out
+        assert "degraded=0 " not in out
+        assert "WARNING" not in out
