@@ -27,6 +27,7 @@ from repro.bench.extra import (
 from repro.bench.chaos import chaos_resilience
 from repro.bench.serve import obs_overhead, serve_concurrency, \
     serve_throughput
+from repro.bench.train import train_throughput
 from repro.bench.experiments import (
     fig04_zeroshot_nodes,
     fig05_overall_accuracy,
@@ -73,4 +74,5 @@ __all__ = [
     "serve_concurrency",
     "obs_overhead",
     "chaos_resilience",
+    "train_throughput",
 ]

@@ -1,0 +1,275 @@
+"""Training-pipeline throughput: encode-once vs re-encode-every-epoch.
+
+The contract pinned here has two halves:
+
+- **throughput** — the pre-encoded pipeline (one-time dataset encoding,
+  size-bucketed padded batches reused across epochs, the fused
+  graph-free training step, in-place Adam) must deliver at least 3x the
+  epochs/second of the seed's training loop, which re-encoded every plan
+  of every batch of every epoch (validation split included) and ran the
+  autograd graph for every step;
+- **bit-identity** — the speedup must be free: same seed, same loss
+  trajectory, same final ``state_dict``, compared field by field against
+  a faithful replica of the seed loop run on an identically-initialized
+  model.
+
+The baseline replica below *is* the pre-change path: per-epoch size
+bucketing, per-plan ``encode_plan`` calls (the seed ``encode_batch``
+interior), per-epoch validation re-encoding, graph forward/backward,
+the seed's out-of-place Adam, identical RNG consumption, identical
+early stopping.
+
+The workload is MSCN-style: predicate-heavy single-join queries with
+IN-list filters over the airline database, encoded with the
+workload-dependent extra features.  That is the regime the paper's
+training sweeps live in — many epochs over modest per-split datasets
+where per-epoch featurization rivals the optimization arithmetic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.bench.config import DEFAULT, BenchScale
+from repro.catalog.zoo import load_database
+from repro.core.model import DACEConfig, DACEModel
+from repro.core.trainer import Trainer, TrainingConfig, catch_dataset
+from repro.featurize.encoder import PlanEncoder
+from repro.metrics.tables import format_table
+from repro.nn import no_grad
+from repro.nn.losses import log_qerror_loss
+from repro.sql.generator import QueryGenerator, WorkloadSpec
+from repro.workloads.dataset import PlanDataset, collect_workload
+
+_BATCH_SIZE = 64
+
+_WORKLOAD: Dict[Tuple, PlanDataset] = {}
+
+
+def _training_workload(scale: BenchScale) -> PlanDataset:
+    """A synthetic MSCN-style workload: shallow plans, heavy predicates."""
+    key = (scale.queries_per_db, scale.seed)
+    if key not in _WORKLOAD:
+        database = load_database("airline")
+        spec = WorkloadSpec(
+            max_joins=1, max_predicates=16, min_predicates=12,
+            in_fraction=0.9, max_in_values=30,
+        )
+        queries = QueryGenerator(
+            database, spec, seed=scale.seed
+        ).generate_many(3 * scale.queries_per_db)
+        _WORKLOAD[key] = collect_workload(
+            database, queries, seed=scale.seed
+        )
+    return _WORKLOAD[key]
+
+
+def _config(scale: BenchScale) -> TrainingConfig:
+    epochs = max(scale.dace_epochs, 40)
+    return TrainingConfig(
+        epochs=epochs, batch_size=_BATCH_SIZE, validation_fraction=0.1,
+        patience=epochs, seed=scale.seed,
+    )
+
+
+class _SeedAdam:
+    """The seed commit's Adam, replicated byte for byte: out-of-place
+    moment updates and a freshly allocated update array per parameter
+    per step.  (The current :class:`repro.nn.optim.Adam` folds the same
+    arithmetic in place — bit-identical values, fewer allocations —
+    which is exactly what the bit-identity audit below certifies.)"""
+
+    def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999),
+                 eps=1e-8, weight_decay=0.0):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def zero_grad(self):
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self):
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * parameter.data
+            parameter.data = parameter.data - self.lr * update
+
+
+def legacy_fit(
+    model: DACEModel,
+    encoder: PlanEncoder,
+    config: TrainingConfig,
+    train: PlanDataset,
+) -> List[dict]:
+    """The seed commit's ``Trainer.fit``, replicated operation for
+    operation: every epoch re-encodes every batch through per-plan
+    ``encode_plan`` calls, the validation split is re-encoded per epoch
+    too, every step runs the autograd graph, and the optimizer is the
+    seed's out-of-place Adam.  Returns the training history."""
+    rng = np.random.default_rng(config.seed)
+    plans = catch_dataset(train)
+    if not encoder.is_fit:
+        encoder.fit(plans)
+    n_val = int(len(plans) * config.validation_fraction)
+    if n_val >= 4:
+        perm = rng.permutation(len(plans))
+        val_plans = [plans[i] for i in perm[:n_val]]
+        train_plans = [plans[i] for i in perm[n_val:]]
+    else:
+        val_plans, train_plans = [], list(plans)
+    parameters = list(model.trainable_parameters())
+    optimizer = _SeedAdam(parameters, lr=config.lr,
+                          weight_decay=config.weight_decay)
+
+    def encode(chunk):
+        # The seed encode_batch interior: one encode_plan call per plan.
+        return encoder.encode_batch(
+            chunk, node_features=[encoder.encode_plan(p) for p in chunk]
+        )
+
+    def epoch_loss(eval_plans):
+        total, count = 0.0, 0
+        with no_grad():
+            for start in range(0, len(eval_plans), config.batch_size):
+                chunk = eval_plans[start:start + config.batch_size]
+                batch = encode(chunk)
+                pred = model(batch)
+                loss = log_qerror_loss(
+                    pred, batch.labels_log, batch.loss_weights
+                )
+                total += loss.item() * len(chunk)
+                count += len(chunk)
+        return total / count
+
+    history: List[dict] = []
+    best_val, best_state, stale = float("inf"), None, 0
+    for epoch in range(config.epochs):
+        epoch_sum, seen = 0.0, 0
+        order = sorted(range(len(train_plans)),
+                       key=lambda i: train_plans[i].num_nodes)
+        batches = [
+            [train_plans[i] for i in order[s:s + config.batch_size]]
+            for s in range(0, len(order), config.batch_size)
+        ]
+        rng.shuffle(batches)
+        for chunk in batches:
+            batch = encode(chunk)
+            optimizer.zero_grad()
+            pred = model(batch)
+            loss = log_qerror_loss(pred, batch.labels_log,
+                                   batch.loss_weights)
+            loss.backward()
+            optimizer.step()
+            epoch_sum += loss.item() * len(chunk)
+            seen += len(chunk)
+        val_loss = epoch_loss(val_plans) if val_plans else float("nan")
+        history.append({
+            "epoch": epoch,
+            "train_loss": epoch_sum / max(seen, 1),
+            "val_loss": val_loss,
+        })
+        if val_plans:
+            if val_loss < best_val - 1e-5:
+                best_val, best_state, stale = val_loss, model.state_dict(), 0
+            else:
+                stale += 1
+                if stale >= config.patience:
+                    break
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    return history
+
+
+def _losses(history: List[dict]) -> List[Tuple[float, float]]:
+    return [(h["train_loss"], h["val_loss"]) for h in history]
+
+
+def train_throughput(scale: BenchScale = DEFAULT) -> dict:
+    """Epochs/second of both training paths, plus the bit-identity audit."""
+    train = _training_workload(scale)
+    config = _config(scale)
+
+    encoder_base = PlanEncoder(extra_features=True)
+    model_base = DACEModel(
+        DACEConfig(input_dim=encoder_base.dim),
+        rng=np.random.default_rng(scale.seed),
+    )
+    start = time.perf_counter()
+    base_history = legacy_fit(model_base, encoder_base, config, train)
+    base_seconds = time.perf_counter() - start
+
+    encoder_pipe = PlanEncoder(extra_features=True)
+    model_pipe = DACEModel(
+        DACEConfig(input_dim=encoder_pipe.dim),
+        rng=np.random.default_rng(scale.seed),
+    )
+    trainer = Trainer(model_pipe, encoder_pipe, config)
+    start = time.perf_counter()
+    trainer.fit(train)
+    pipe_seconds = time.perf_counter() - start
+    pipe_history = trainer.history
+
+    epochs = len(base_history)
+    base_eps = epochs / base_seconds
+    pipe_eps = len(pipe_history) / pipe_seconds
+    speedup = pipe_eps / base_eps
+
+    same_losses = (
+        len(base_history) == len(pipe_history)
+        and all(
+            a[0] == b[0] and (a[1] == b[1]
+                              or (np.isnan(a[1]) and np.isnan(b[1])))
+            for a, b in zip(_losses(base_history), _losses(pipe_history))
+        )
+    )
+    state_base = model_base.state_dict()
+    state_pipe = model_pipe.state_dict()
+    same_weights = set(state_base) == set(state_pipe) and all(
+        np.array_equal(state_base[name], state_pipe[name])
+        for name in state_base
+    )
+
+    rows = [
+        ["re-encode/epoch", epochs, base_seconds, base_eps, 1.0],
+        ["pre-encoded", len(pipe_history), pipe_seconds, pipe_eps, speedup],
+    ]
+    table = format_table(
+        ["pipeline", "epochs", "seconds", "epochs/s", "speedup"], rows,
+        title=f"Training throughput ({len(train)} plans, "
+              f"batch={config.batch_size}, "
+              f"bit-identical={'yes' if same_losses and same_weights else 'NO'})",
+    )
+    return {
+        "table": table,
+        "n_plans": len(train),
+        "batch_size": config.batch_size,
+        "epochs": epochs,
+        "baseline_seconds": base_seconds,
+        "pipelined_seconds": pipe_seconds,
+        "baseline_epochs_per_s": base_eps,
+        "pipelined_epochs_per_s": pipe_eps,
+        "speedup": speedup,
+        "identical_losses": same_losses,
+        "identical_weights": same_weights,
+        "bit_identical": same_losses and same_weights,
+    }

@@ -268,6 +268,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the on-disk encoding cache."""
+    from repro.workloads.encoded import EncodingCache
+
+    cache = EncodingCache(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached encoding(s) from {cache.directory}")
+        return 0
+    entries = cache.entries()
+    if not entries:
+        print(f"encoding cache at {cache.directory} is empty")
+        return 0
+    rows = [[name, size] for name, size in entries]
+    print(format_table(
+        ["entry", "bytes"], rows,
+        title=f"encoding cache at {cache.directory} "
+              f"({cache.total_bytes} bytes total)",
+    ))
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Pretty-print (or convert) a JSON-lines metrics dump."""
     from repro.obs import load_json_lines
@@ -305,6 +327,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "concurrency": bench.serve_concurrency,
         "obsoverhead": bench.obs_overhead,
         "chaos": bench.chaos_resilience,
+        "train": bench.train_throughput,
     }
     if args.experiment == "list":
         for name in runners:
@@ -410,6 +433,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "tier even without --chaos")
     serve.set_defaults(func=_cmd_serve)
 
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk encoding cache"
+    )
+    cache.add_argument("action", choices=["inspect", "clear"],
+                       nargs="?", default="inspect")
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro)")
+    cache.set_defaults(func=_cmd_cache)
+
     obs = sub.add_parser(
         "obs", help="pretty-print a JSON-lines metrics dump"
     )
@@ -426,7 +459,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["list", "fig04", "fig05", "tab1", "fig06", "tab2", "fig07",
                  "fig08", "fig09", "fig10", "fig11", "fig12", "alpha",
                  "capacity", "ensemble", "apps", "taxonomy",
-                 "cardknowledge", "serving", "obsoverhead", "chaos"],
+                 "cardknowledge", "serving", "obsoverhead", "chaos",
+                 "train"],
     )
     bench.add_argument("--scale", choices=["smoke", "default", "paper"],
                        default="smoke")

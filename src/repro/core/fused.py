@@ -1,0 +1,200 @@
+"""Fused graph-free training step for DACE's q-error objective.
+
+The autograd :class:`~repro.nn.tensor.Tensor` makes every model trainable,
+but the graph bookkeeping (node allocation, closure capture, topological
+sort, out-of-place gradient accumulation) is pure overhead once the
+architecture is fixed.  This module hand-rolls the forward *and* backward
+pass for the exact op sequence of ``DACEModel.forward`` +
+:func:`~repro.nn.losses.log_qerror_loss` — the pre-training hot path that
+every figure benchmark re-runs across 19-of-20 database splits.
+
+The contract is the same one :meth:`repro.nn.module.Module.infer` pins for
+serving: **every numpy operation mirrors the autograd path operation for
+operation, in the same order on the same shapes, so gradients and loss
+agree bit for bit.**  ``tests/core/test_fused_step.py`` enforces exact
+(``==``, not allclose) agreement against the graph path.
+
+Because the fused step is only a mirror, it refuses anything it does not
+replicate exactly: non-``DACEModel`` models (subclasses may override
+``forward``), the quantile objective, and LoRA fine-tuning all fall back
+to the graph path in :class:`~repro.core.trainer.Trainer`.
+
+Per-batch constants (attention mask, its complement, the loss-weight
+normalizer) are cached per :class:`~repro.featurize.encoder.EncodedBatch`
+object: the encode-once pipeline reuses the same batch objects every
+epoch, so these are computed once per ``fit`` rather than once per step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.featurize.encoder import EncodedBatch
+from repro.nn.attention import _NEG_INF
+from repro.nn.tensor import _unbroadcast
+
+
+def _adapters_disabled(model) -> bool:
+    return not (
+        model.mlp1.adapter_enabled
+        or model.mlp2.adapter_enabled
+        or model.mlp3.adapter_enabled
+    )
+
+
+class FusedQErrorStep:
+    """One fused forward/backward for ``DACEModel`` + ``log_qerror_loss``.
+
+    Usage (exactly replaces the graph step)::
+
+        optimizer.zero_grad()
+        loss_value = fused.step(batch)   # sets .grad on the parameters
+        optimizer.step()
+    """
+
+    def __init__(self, model) -> None:
+        self.model = model
+        # Keyed by id(batch): valid while the caller keeps the batch list
+        # alive (Trainer.fit holds every batch for the whole fit).
+        self._constants: Dict[int, Tuple[np.ndarray, np.ndarray, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def supports(model, objective: str) -> bool:
+        """True when the fused mirror covers this exact configuration."""
+        from repro.core.model import DACEModel
+
+        return (
+            type(model) is DACEModel
+            and objective == "qerror"
+            and _adapters_disabled(model)
+        )
+
+    def _batch_constants(
+        self, batch: EncodedBatch
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        cached = self._constants.get(id(batch))
+        if cached is None:
+            mask = np.asarray(
+                self.model._attention_mask(batch), dtype=bool
+            )
+            blocked = ~mask
+            total = batch.loss_weights.sum()
+            if total <= 0:
+                raise ValueError("loss weights sum to zero")
+            cached = (blocked, ~blocked, total)
+            self._constants[id(batch)] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    def step(self, batch: EncodedBatch) -> float:
+        """Forward + backward; sets ``.grad`` and returns the loss value.
+
+        Intermediates that autograd materializes but never revisits are
+        folded in place here (masking, softmax normalization, relu
+        gating); every fold is an elementwise op producing the same
+        values as the out-of-place original, so the op *results* — and
+        therefore the loss and every gradient — stay bit-identical to
+        the graph path.
+        """
+        model = self.model
+        if batch.labels_log is None:
+            raise ValueError("fused step needs labelled batches")
+        blocked, keep, total = self._batch_constants(batch)
+
+        w_q, w_k, w_v = model.w_q.weight, model.w_k.weight, model.w_v.weight
+        lin1, lin2, lin3 = model.mlp1.base, model.mlp2.base, model.mlp3.base
+        x = batch.features
+        lw = batch.loss_weights
+        target = batch.labels_log
+        B, n = lw.shape
+        x_t = np.swapaxes(x, -1, -2)
+
+        # ---- forward: mirrors DACEModel.forward + log_qerror_loss ---- #
+        q = x @ w_q.data
+        k = x @ w_k.data
+        v = x @ w_v.data
+        k_t = np.swapaxes(k, -1, -2)
+        scale = 1.0 / np.sqrt(q.shape[-1])
+        # scores -> masked -> shifted -> exp -> softmax weights, folded
+        # into one array; the backward pass only needs the weights.
+        weights = q @ k_t
+        weights *= scale
+        weights[blocked] = _NEG_INF
+        weights -= weights.max(axis=-1, keepdims=True)
+        np.exp(weights, out=weights)
+        weights /= weights.sum(axis=-1, keepdims=True)
+        hidden = weights @ v
+
+        # a_i and b_i = a_i + bias share an array; relu output is kept
+        # separate because the backward pass consumes r1/r2.
+        b1 = hidden @ lin1.weight.data
+        b1 += lin1.bias.data
+        mask1 = b1 > 0
+        r1 = b1 * mask1
+        b2 = r1 @ lin2.weight.data
+        b2 += lin2.bias.data
+        mask2 = b2 > 0
+        r2 = b2 * mask2
+        b3 = r2 @ lin3.weight.data
+        b3 += lin3.bias.data
+        out = b3.reshape(B, n)
+
+        diff = out - target
+        loss = (np.abs(diff) * lw).sum() * (1.0 / total)
+
+        # ---- backward: the graph closures replayed in reverse -------- #
+        # Each intermediate receives exactly one gradient contribution
+        # (the graph is a tree below the shared input x, which carries no
+        # gradient), so accumulation order cannot differ from autograd.
+        g_out = np.sign(diff) * (lw * (1.0 / total))
+        g_b3 = g_out.reshape(B, n, 1)
+
+        lin3.bias.grad = _unbroadcast(g_b3, lin3.bias.shape)
+        lin3.weight.grad = _unbroadcast(
+            np.swapaxes(r2, -1, -2) @ g_b3, lin3.weight.shape
+        )
+        g_b2 = g_b3 @ np.swapaxes(lin3.weight.data, -1, -2)
+        g_b2 *= mask2
+
+        lin2.bias.grad = _unbroadcast(g_b2, lin2.bias.shape)
+        lin2.weight.grad = _unbroadcast(
+            np.swapaxes(r1, -1, -2) @ g_b2, lin2.weight.shape
+        )
+        g_b1 = g_b2 @ np.swapaxes(lin2.weight.data, -1, -2)
+        g_b1 *= mask1
+
+        lin1.bias.grad = _unbroadcast(g_b1, lin1.bias.shape)
+        lin1.weight.grad = _unbroadcast(
+            np.swapaxes(hidden, -1, -2) @ g_b1, lin1.weight.shape
+        )
+        g_hidden = g_b1 @ np.swapaxes(lin1.weight.data, -1, -2)
+
+        # attention: hidden = softmax(masked) @ v
+        g_weights = g_hidden @ np.swapaxes(v, -1, -2)
+        g_v = np.swapaxes(weights, -1, -2) @ g_hidden
+        dot = (g_weights * weights).sum(axis=-1, keepdims=True)
+        g_weights -= dot
+        g_weights *= weights
+        g_weights *= keep
+        g_weights *= scale
+        g_q = g_weights @ np.swapaxes(k_t, -1, -2)
+        # autograd stores view-based grads as C-contiguous copies before
+        # the next matmul consumes them; mirror the layout exactly.
+        g_k = np.swapaxes(
+            np.swapaxes(q, -1, -2) @ g_weights, -1, -2
+        ).copy()
+
+        w_q.grad = _unbroadcast(x_t @ g_q, w_q.shape)
+        w_k.grad = _unbroadcast(x_t @ g_k, w_k.shape)
+        w_v.grad = _unbroadcast(x_t @ g_v, w_v.shape)
+        return float(loss)
+
+
+def maybe_fused_step(model, objective: str) -> Optional[FusedQErrorStep]:
+    """A :class:`FusedQErrorStep` when supported, else ``None``."""
+    if FusedQErrorStep.supports(model, objective):
+        return FusedQErrorStep(model)
+    return None

@@ -37,6 +37,25 @@ from repro.nn import (
 from repro.nn.layers import Linear, ReLU
 
 
+# Identity masks for the w/o-TA ablation, cached per padded width: the
+# ablation forward used to rebuild np.eye on every call.  Entries are
+# marked read-only so no caller can poison the shared mask.
+_EYE_MASKS: dict = {}
+
+
+def _eye_mask(n: int) -> np.ndarray:
+    """Read-only (1, n, n) boolean identity, shared across forwards."""
+    eye = _EYE_MASKS.get(n)
+    if eye is None:
+        base = np.eye(n, dtype=bool)
+        base.setflags(write=False)
+        eye = base[None, :, :]
+        # dict assignment is GIL-atomic; a concurrent duplicate build
+        # just wastes one allocation.
+        _EYE_MASKS[n] = eye
+    return eye
+
+
 @dataclass(frozen=True)
 class DACEConfig:
     """Hyperparameters (defaults are the paper's)."""
@@ -77,9 +96,7 @@ class DACEModel(Module):
         # Ablation (w/o TA): full attention among real nodes; padding rows
         # still attend only to themselves.
         full = batch.valid[:, :, None] & batch.valid[:, None, :]
-        n = batch.max_nodes
-        eye = np.eye(n, dtype=bool)[None, :, :]
-        return full | eye
+        return full | _eye_mask(batch.max_nodes)
 
     def _hidden(self, batch: EncodedBatch) -> Tensor:
         """Attention output H of shape (B, n, d_v)."""

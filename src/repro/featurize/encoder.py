@@ -165,15 +165,21 @@ class PlanEncoder:
                 magnitude,
                 eq_fraction,
             ])
-        return np.asarray(rows)
+        return np.asarray(rows, dtype=np.float64)
 
     # ------------------------------------------------------------------ #
     def encode_plan(self, plan: CaughtPlan) -> np.ndarray:
-        """Node encodings of shape (n, self.dim)."""
+        """Node encodings of shape (n, self.dim), dtype float64.
+
+        float64 is the encoding contract: every downstream consumer
+        (autograd tensors, the graph-free serving kernels, the on-disk
+        encoding cache) assumes it, and the bit-identity guarantees
+        between those paths depend on it.
+        """
         if not self.is_fit:
             raise RuntimeError("encoder must be fit before encoding")
         n = plan.num_nodes
-        one_hot = np.zeros((n, NUM_NODE_TYPES))
+        one_hot = np.zeros((n, NUM_NODE_TYPES), dtype=np.float64)
         one_hot[np.arange(n), plan.node_type_ids] = 1.0
         scaled = self.scaler.transform(
             np.stack([self._cards(plan), plan.est_costs], axis=1)
@@ -182,6 +188,40 @@ class PlanEncoder:
         if self.extra_features:
             parts.append(self._extra(plan))
         return np.concatenate(parts, axis=1)
+
+    def encode_plans(self, plans: Sequence[CaughtPlan]) -> List[np.ndarray]:
+        """Vectorized :meth:`encode_plan` over many plans at once.
+
+        Concatenates every plan's (card, cost) rows into one array, runs a
+        single scaler transform and a single one-hot scatter over the
+        whole workload, then splits back per plan.  The scaler is purely
+        elementwise, so each returned array is bit-identical to what
+        ``encode_plan`` produces for that plan — this is what lets the
+        training pipeline encode a dataset once without changing a single
+        bit of the gradient schedule.
+        """
+        if not plans:
+            return []
+        if not self.is_fit:
+            raise RuntimeError("encoder must be fit before encoding")
+        counts = [plan.num_nodes for plan in plans]
+        raw = np.concatenate([
+            np.stack([self._cards(plan), plan.est_costs], axis=1)
+            for plan in plans
+        ], axis=0)
+        scaled = self.scaler.transform(raw)
+        type_ids = np.concatenate([plan.node_type_ids for plan in plans])
+        total = type_ids.shape[0]
+        one_hot = np.zeros((total, NUM_NODE_TYPES), dtype=np.float64)
+        one_hot[np.arange(total), type_ids] = 1.0
+        parts = [one_hot, scaled]
+        if self.extra_features:
+            parts.append(np.concatenate(
+                [self._extra(plan) for plan in plans], axis=0
+            ))
+        stacked = np.concatenate(parts, axis=1)
+        offsets = np.cumsum(counts)[:-1]
+        return np.split(stacked, offsets, axis=0)
 
     def encode_batch(
         self,
@@ -215,22 +255,23 @@ class PlanEncoder:
         n_max = max(plan.num_nodes for plan in plans)
         if pad_to is not None:
             n_max = max(n_max, pad_to)
+        if node_features is None:
+            # One vectorized encoding pass over the whole batch (bit-
+            # identical to per-plan encode_plan calls; see encode_plans).
+            node_features = self.encode_plans(plans)
 
-        features = np.zeros((batch, n_max, self.dim))
+        features = np.zeros((batch, n_max, self.dim), dtype=np.float64)
         attention = np.zeros((batch, n_max, n_max), dtype=bool)
         valid = np.zeros((batch, n_max), dtype=bool)
         heights = np.zeros((batch, n_max), dtype=np.int64)
-        weights = np.zeros((batch, n_max))
+        weights = np.zeros((batch, n_max), dtype=np.float64)
         labels: Optional[np.ndarray] = None
         if with_labels:
-            labels = np.zeros((batch, n_max))
+            labels = np.zeros((batch, n_max), dtype=np.float64)
 
         for index, plan in enumerate(plans):
             n = plan.num_nodes
-            if node_features is not None:
-                features[index, :n] = node_features[index]
-            else:
-                features[index, :n] = self.encode_plan(plan)
+            features[index, :n] = node_features[index]
             attention[index, :n, :n] = plan.adjacency
             valid[index, :n] = True
             heights[index, :n] = plan.heights

@@ -54,6 +54,29 @@ def log_qerror_loss(
     return (diff * Tensor(weights)).sum() * (1.0 / total)
 
 
+def log_qerror_loss_np(
+    pred_log: np.ndarray,
+    target_log: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """Graph-free mirror of :func:`log_qerror_loss` for evaluation.
+
+    Runs the identical numpy operations in the identical order on plain
+    arrays, so the returned value is bit-identical to
+    ``log_qerror_loss(...).item()`` on the same inputs — which is what
+    lets the trainer evaluate validation loss through ``Module.infer``
+    without perturbing early stopping by a single ulp.
+    """
+    diff = np.abs(pred_log - target_log)
+    if weights is None:
+        return float(diff.mean())
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("loss weights sum to zero")
+    return float((diff * weights).sum() * (1.0 / total))
+
+
 def pinball_loss(
     pred_log: Tensor,
     target_log: np.ndarray,

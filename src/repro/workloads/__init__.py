@@ -10,6 +10,12 @@
 """
 
 from repro.workloads.dataset import PlanDataset, PlanSample, collect_workload
+from repro.workloads.encoded import (
+    EncodedDataset,
+    EncodingCache,
+    default_cache_dir,
+    encoding_cache_key,
+)
 from repro.workloads.zeroshot import workload1, workload2
 from repro.workloads.mscn import Workload3, build_workload3
 from repro.workloads.drift import drift_datasets
@@ -20,6 +26,10 @@ __all__ = [
     "PlanSample",
     "PlanDataset",
     "collect_workload",
+    "EncodedDataset",
+    "EncodingCache",
+    "encoding_cache_key",
+    "default_cache_dir",
     "workload1",
     "workload2",
     "Workload3",

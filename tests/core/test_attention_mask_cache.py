@@ -1,0 +1,69 @@
+"""The w/o-TA ablation's cached identity masks.
+
+``_attention_mask`` used to rebuild ``np.eye`` on every forward of the
+no-tree-attention ablation; the cache must change nothing about the
+mask's value while making the shared array immune to mutation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import DACEConfig, DACEModel, _eye_mask
+from repro.core.trainer import catch_dataset
+from repro.featurize import PlanEncoder
+
+
+@pytest.fixture(scope="module")
+def batch(train_datasets):
+    plans = catch_dataset(train_datasets[0])
+    encoder = PlanEncoder().fit(plans)
+    return encoder.encode_batch(plans[:16])
+
+
+def test_eye_mask_value(batch):
+    n = batch.max_nodes
+    np.testing.assert_array_equal(
+        _eye_mask(n), np.eye(n, dtype=bool)[None, :, :]
+    )
+
+
+def test_eye_mask_cached_per_width():
+    assert _eye_mask(6) is _eye_mask(6)
+    assert _eye_mask(6) is not _eye_mask(7)
+
+
+def test_eye_mask_is_read_only():
+    mask = _eye_mask(5)
+    with pytest.raises(ValueError):
+        mask[0, 0, 0] = False
+
+
+def test_ablation_mask_matches_uncached_form(batch):
+    """w/o TA: full attention among real nodes, padding attends to
+    itself — exactly what the per-call np.eye construction produced."""
+    model = DACEModel(
+        DACEConfig(use_tree_attention=False), rng=np.random.default_rng(0)
+    )
+    mask = model._attention_mask(batch)
+    n = batch.max_nodes
+    full = batch.valid[:, :, None] & batch.valid[:, None, :]
+    expected = full | np.eye(n, dtype=bool)[None, :, :]
+    np.testing.assert_array_equal(mask, expected)
+
+
+def test_tree_attention_mask_unaffected(batch):
+    model = DACEModel(rng=np.random.default_rng(0))
+    np.testing.assert_array_equal(
+        model._attention_mask(batch), batch.attention_mask
+    )
+
+
+def test_ablation_forward_deterministic(batch):
+    """Two forwards through the cached-mask path agree exactly."""
+    model = DACEModel(
+        DACEConfig(use_tree_attention=False), rng=np.random.default_rng(0)
+    )
+    first = model.infer(batch)
+    second = model.infer(batch)
+    np.testing.assert_array_equal(first, second)
+    assert np.isfinite(first).all()

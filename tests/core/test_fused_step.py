@@ -1,0 +1,110 @@
+"""Fused graph-free training step: exact agreement with autograd.
+
+The fused step's whole contract is that it is a *mirror*: the same numpy
+operations in the same order as ``DACEModel.forward`` +
+``log_qerror_loss`` + ``.backward()``.  Every assertion here is exact
+(``==`` via array_equal, never allclose) — one reordered reduction and
+the encode-once pipeline would silently stop being bit-reproducible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fused import FusedQErrorStep, maybe_fused_step
+from repro.core.model import DACEConfig, DACEModel
+from repro.core.trainer import catch_dataset
+from repro.featurize import PlanEncoder
+from repro.nn.losses import log_qerror_loss
+from repro.workloads.encoded import EncodedDataset
+
+
+@pytest.fixture(scope="module")
+def batches(train_datasets):
+    plans = catch_dataset(train_datasets[0])
+    encoder = PlanEncoder().fit(plans)
+    return EncodedDataset.encode(encoder, plans).bucketed_batches(32)
+
+
+def _graph_grads(model, batch):
+    for parameter in model.trainable_parameters():
+        parameter.zero_grad()
+    pred = model(batch)
+    loss = log_qerror_loss(pred, batch.labels_log, batch.loss_weights)
+    loss.backward()
+    return loss.item(), {
+        name: parameter.grad.copy()
+        for name, parameter in model.named_parameters()
+        if parameter.grad is not None
+    }
+
+
+@pytest.mark.parametrize("use_tree_attention", [True, False])
+def test_fused_matches_graph_exactly(batches, use_tree_attention):
+    dim = batches[0].features.shape[-1]
+    model = DACEModel(
+        DACEConfig(input_dim=dim, use_tree_attention=use_tree_attention),
+        rng=np.random.default_rng(7),
+    )
+    fused = FusedQErrorStep(model)
+    # Two passes over every batch: the second exercises the warmed
+    # per-batch constant cache.
+    for _ in range(2):
+        for batch in batches:
+            graph_loss, graph_grads = _graph_grads(model, batch)
+            for parameter in model.trainable_parameters():
+                parameter.zero_grad()
+            fused_loss = fused.step(batch)
+            assert fused_loss == graph_loss
+            fused_grads = {
+                name: parameter.grad
+                for name, parameter in model.named_parameters()
+                if parameter.grad is not None
+            }
+            assert set(fused_grads) == set(graph_grads)
+            for name, grad in graph_grads.items():
+                assert np.array_equal(fused_grads[name], grad), name
+
+
+def test_supports_stock_configuration():
+    model = DACEModel(rng=np.random.default_rng(0))
+    assert FusedQErrorStep.supports(model, "qerror")
+    assert maybe_fused_step(model, "qerror") is not None
+
+
+def test_refuses_quantile_objective():
+    model = DACEModel(rng=np.random.default_rng(0))
+    assert not FusedQErrorStep.supports(model, "quantile")
+    assert maybe_fused_step(model, "quantile") is None
+
+
+def test_refuses_lora_fine_tuning():
+    model = DACEModel(rng=np.random.default_rng(0))
+    model.enable_lora()
+    assert not FusedQErrorStep.supports(model, "qerror")
+    assert maybe_fused_step(model, "qerror") is None
+
+
+def test_refuses_model_subclasses():
+    class Custom(DACEModel):
+        pass
+
+    assert not FusedQErrorStep.supports(
+        Custom(rng=np.random.default_rng(0)), "qerror"
+    )
+
+
+def test_rejects_unlabelled_batches(batches):
+    dim = batches[0].features.shape[-1]
+    model = DACEModel(DACEConfig(input_dim=dim),
+                      rng=np.random.default_rng(0))
+    batch = batches[0]
+    unlabelled = type(batch)(
+        features=batch.features,
+        attention_mask=batch.attention_mask,
+        valid=batch.valid,
+        heights=batch.heights,
+        loss_weights=batch.loss_weights,
+        labels_log=None,
+    )
+    with pytest.raises(ValueError):
+        FusedQErrorStep(model).step(unlabelled)

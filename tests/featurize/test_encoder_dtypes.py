@@ -1,0 +1,64 @@
+"""Encoding dtype stability and the vectorized encode_plans path.
+
+Every array the encoder hands to training must be float64: the autograd
+tensors, the fused step, the serving kernels, and the on-disk encoding
+cache all assume it, and the cross-path bit-identity guarantees depend
+on it.  ``encode_plans`` additionally must reproduce per-plan
+``encode_plan`` output exactly — it is the encode-once pipeline's
+front door.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import catch_dataset
+from repro.featurize import PlanEncoder
+
+
+@pytest.fixture(scope="module", params=[False, True],
+                ids=["default", "extra_features"])
+def fitted(request, train_datasets):
+    plans = catch_dataset(train_datasets[0])
+    encoder = PlanEncoder(extra_features=request.param).fit(plans)
+    return encoder, plans
+
+
+def test_encode_plan_is_float64(fitted):
+    encoder, plans = fitted
+    for plan in plans[:20]:
+        encoded = encoder.encode_plan(plan)
+        assert encoded.dtype == np.float64
+        assert encoded.shape == (plan.num_nodes, encoder.dim)
+
+
+def test_encode_plans_matches_encode_plan_bitwise(fitted):
+    encoder, plans = fitted
+    vectorized = encoder.encode_plans(plans)
+    assert len(vectorized) == len(plans)
+    for plan, batch_encoded in zip(plans, vectorized):
+        assert batch_encoded.dtype == np.float64
+        single = encoder.encode_plan(plan)
+        assert np.array_equal(batch_encoded, single)
+        assert batch_encoded.tobytes() == single.tobytes()
+
+
+def test_encode_plans_empty_list(fitted):
+    encoder, _ = fitted
+    assert encoder.encode_plans([]) == []
+
+
+def test_encode_batch_dtypes(fitted):
+    encoder, plans = fitted
+    batch = encoder.encode_batch(plans[:8])
+    assert batch.features.dtype == np.float64
+    assert batch.loss_weights.dtype == np.float64
+    assert batch.labels_log.dtype == np.float64
+    assert batch.attention_mask.dtype == np.bool_
+    assert batch.valid.dtype == np.bool_
+    assert batch.heights.dtype == np.int64
+
+
+def test_unfit_encoder_refuses_vectorized_path(train_datasets):
+    plans = catch_dataset(train_datasets[0])
+    with pytest.raises(RuntimeError):
+        PlanEncoder().encode_plans(plans[:2])
