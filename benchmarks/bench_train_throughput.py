@@ -8,15 +8,17 @@ final ``state_dict`` from the same seed.
 
 Besides the human-readable results table, the run writes a
 machine-readable record to ``BENCH_train_throughput.json`` at the repo
-root so downstream tooling (and the CI job) can track the number
-without parsing text.
+root (via :meth:`ResultsStore.write_perf_record`, so it shares the
+``repro.experiments/perf-v1`` schema and atomic-write semantics with the
+experiment-matrix cells) so downstream tooling (and the CI job) can
+track the number without parsing text.
 """
 
-import json
 import os
 
 from repro.bench import train_throughput
 from repro.bench.config import DEFAULT
+from repro.experiments import ResultsStore
 
 MIN_SPEEDUP = 3.0
 
@@ -42,27 +44,22 @@ def test_train_throughput(benchmark, bench_scale, write_result):
         if retry["speedup"] > result["speedup"]:
             result = retry
     write_result("train_throughput", result["table"])
-    with open(_JSON_PATH, "w") as handle:
-        json.dump(
-            {
-                "benchmark": "train_throughput",
-                "scale": scale.name,
-                "n_plans": result["n_plans"],
-                "batch_size": result["batch_size"],
-                "epochs": result["epochs"],
-                "baseline_seconds": result["baseline_seconds"],
-                "pipelined_seconds": result["pipelined_seconds"],
-                "baseline_epochs_per_s": result["baseline_epochs_per_s"],
-                "pipelined_epochs_per_s": result["pipelined_epochs_per_s"],
-                "speedup": result["speedup"],
-                "identical_losses": result["identical_losses"],
-                "identical_weights": result["identical_weights"],
-                "bit_identical": result["bit_identical"],
-                "min_speedup": MIN_SPEEDUP,
-            },
-            handle, indent=2,
-        )
-        handle.write("\n")
+    ResultsStore.write_perf_record(_JSON_PATH, {
+        "benchmark": "train_throughput",
+        "scale": scale.name,
+        "n_plans": result["n_plans"],
+        "batch_size": result["batch_size"],
+        "epochs": result["epochs"],
+        "baseline_seconds": result["baseline_seconds"],
+        "pipelined_seconds": result["pipelined_seconds"],
+        "baseline_epochs_per_s": result["baseline_epochs_per_s"],
+        "pipelined_epochs_per_s": result["pipelined_epochs_per_s"],
+        "speedup": result["speedup"],
+        "identical_losses": result["identical_losses"],
+        "identical_weights": result["identical_weights"],
+        "bit_identical": result["bit_identical"],
+        "min_speedup": MIN_SPEEDUP,
+    })
     assert result["table"]
     # The speedup must be free: same losses, same final weights, exactly.
     assert result["identical_losses"]

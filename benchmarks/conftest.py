@@ -1,31 +1,36 @@
 """Benchmark configuration.
 
-Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` (CI-sized),
-``default`` (laptop-scale, the default), or ``paper`` (the paper's full
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` (CI-sized, the
+default), ``default`` (laptop-scale), or ``paper`` (the paper's full
 sizes; hours).  Each benchmark regenerates one of the paper's tables or
 figures, times the end-to-end run via pytest-benchmark, prints the result
-table, and writes it to ``benchmarks/results/<experiment>.txt``.
+table, and writes it to ``benchmarks/results/<scale>/<experiment>.txt``.
 """
 
 import os
 
 import pytest
 
-from repro.bench import DEFAULT, PAPER, SMOKE
-
-_SCALES = {"smoke": SMOKE, "default": DEFAULT, "paper": PAPER}
+from repro.bench import resolve_scale
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def _active_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    try:
+        return resolve_scale(name)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_BENCH_SCALE: {exc}") from None
+
+
+def pytest_report_header(config):
+    return f"bench scale: {_active_scale().name} (REPRO_BENCH_SCALE)"
+
+
 @pytest.fixture(scope="session")
 def bench_scale():
-    name = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
-    if name not in _SCALES:
-        raise ValueError(
-            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
-        )
-    return _SCALES[name]
+    return _active_scale()
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,8 @@ render the same rows/series the paper reports.  ``SMOKE`` is for CI,
 documents the full-scale settings.
 """
 
-from repro.bench.config import DEFAULT, PAPER, SMOKE, BenchScale
+from repro.bench.config import DEFAULT, PAPER, SCALES, SMOKE, BenchScale, \
+    resolve_scale
 from repro.bench.cache import (
     clear_caches,
     get_workload1,
@@ -47,6 +48,8 @@ __all__ = [
     "SMOKE",
     "DEFAULT",
     "PAPER",
+    "SCALES",
+    "resolve_scale",
     "clear_caches",
     "get_workload1",
     "get_workload2",

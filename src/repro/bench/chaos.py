@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.bench.cache import get_workload1, pretrain_dace
 from repro.bench.config import DEFAULT, BenchScale
+from repro.experiments.registry import cell
 from repro.metrics.tables import format_table
 from repro.obs import MetricsRegistry
 from repro.serve import (
@@ -44,6 +45,7 @@ def _replay(batcher: MicroBatcher, plans) -> tuple:
     return np.asarray(values, dtype=np.float64), unhandled
 
 
+@cell("chaos")
 def chaos_resilience(scale: BenchScale = DEFAULT,
                      fault_rate: float = 0.1,
                      n_plans: int = 500) -> dict:

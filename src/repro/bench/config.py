@@ -101,3 +101,23 @@ PAPER = BenchScale(
     training_db_counts=(1, 3, 5, 10, 15, 19),
     cold_start_counts=(100, 1_000, 10_000, 100_000),
 )
+
+#: The one name→preset mapping; the CLI, the benchmarks conftest, and the
+#: experiment matrix all resolve scale names through here.
+SCALES = {"smoke": SMOKE, "default": DEFAULT, "paper": PAPER}
+
+
+def resolve_scale(name: str) -> BenchScale:
+    """Resolve a scale name (case-insensitive) to its preset.
+
+    Raises ``ValueError`` naming the valid scales on a miss, so every
+    entry point reports the same actionable error.
+    """
+    key = str(name).strip().lower()
+    try:
+        return SCALES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench scale {name!r}; valid scales: "
+            f"{', '.join(sorted(SCALES))}"
+        ) from None

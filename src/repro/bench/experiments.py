@@ -31,6 +31,7 @@ from repro.bench.cache import (
     training_sets,
 )
 from repro.bench.config import DEFAULT, BenchScale
+from repro.experiments.registry import cell
 from repro.catalog.zoo import load_database
 from repro.metrics import format_table, qerror_summary
 from repro.metrics.qerror import QErrorSummary
@@ -64,15 +65,22 @@ def _bucketed_qerror(
 # --------------------------------------------------------------------- #
 # Fig 4 — motivation: Zero-Shot q-error grows with plan size
 # --------------------------------------------------------------------- #
-def fig04_zeroshot_nodes(scale: BenchScale = DEFAULT) -> dict:
-    """Zero-Shot's mean q-error by number of plan nodes (leave-IMDB-out)."""
-    test = get_workload1(scale)["imdb"]
-    model = pretrain_zeroshot(scale, exclude="imdb")
+@cell("fig04")
+def fig04_zeroshot_nodes(scale: BenchScale = DEFAULT,
+                         exclude: str = "imdb") -> dict:
+    """Zero-Shot's mean q-error by number of plan nodes (leave-one-out).
+
+    ``exclude`` names the held-out database — the paper's figure holds
+    out IMDB, and the experiment matrix sweeps it as an axis.
+    """
+    test = get_workload1(scale)[exclude]
+    model = pretrain_zeroshot(scale, exclude=exclude)
     buckets = _bucketed_qerror(model.predict_ms(test), test)
     rows = [[label, s.mean, s.median, s.count] for label, s in buckets.items()]
     table = format_table(
         ["nodes", "mean qerror", "median qerror", "queries"], rows,
-        title="Fig 4: Zero-Shot accuracy by plan size (tested on unseen imdb)",
+        title=f"Fig 4: Zero-Shot accuracy by plan size "
+              f"(tested on unseen {exclude})",
     )
     return {"buckets": buckets, "table": table}
 
@@ -80,6 +88,7 @@ def fig04_zeroshot_nodes(scale: BenchScale = DEFAULT) -> dict:
 # --------------------------------------------------------------------- #
 # Fig 5 — overall accuracy on workloads 1 and 2
 # --------------------------------------------------------------------- #
+@cell("fig05")
 def fig05_overall_accuracy(
     scale: BenchScale = DEFAULT,
     databases: Optional[Sequence[str]] = None,
@@ -138,6 +147,7 @@ def fig05_overall_accuracy(
 # --------------------------------------------------------------------- #
 # Tab I — workload 3 accuracy for every model
 # --------------------------------------------------------------------- #
+@cell("tab1")
 def tab1_workload3(scale: BenchScale = DEFAULT) -> dict:
     """q-error percentiles on Synthetic/Scale/JOB-light for all models."""
     w3 = get_workload3(scale)
@@ -196,6 +206,7 @@ def tab1_workload3(scale: BenchScale = DEFAULT) -> dict:
 # --------------------------------------------------------------------- #
 # Fig 6 — knowledge integration on JOB-light
 # --------------------------------------------------------------------- #
+@cell("fig06")
 def fig06_knowledge_integration(scale: BenchScale = DEFAULT) -> dict:
     """MSCN and QueryFormer with vs without the DACE encoder (JOB-light)."""
     w3 = get_workload3(scale)
@@ -239,6 +250,7 @@ def fig06_knowledge_integration(scale: BenchScale = DEFAULT) -> dict:
 # --------------------------------------------------------------------- #
 # Tab II — efficiency
 # --------------------------------------------------------------------- #
+@cell("tab2")
 def tab2_efficiency(scale: BenchScale = DEFAULT) -> dict:
     """Model size, training throughput, inference throughput."""
     w3 = get_workload3(scale)
@@ -342,6 +354,7 @@ def tab2_efficiency(scale: BenchScale = DEFAULT) -> dict:
 # --------------------------------------------------------------------- #
 # Fig 7 — data drift on TPC-H
 # --------------------------------------------------------------------- #
+@cell("fig07")
 def fig07_data_drift(scale: BenchScale = DEFAULT) -> dict:
     """Median/95th q-error on TPC-H at growing scale factors."""
     datasets = drift_datasets(
@@ -397,6 +410,7 @@ def fig07_data_drift(scale: BenchScale = DEFAULT) -> dict:
 # --------------------------------------------------------------------- #
 # Fig 8 — accuracy by number of training databases
 # --------------------------------------------------------------------- #
+@cell("fig08")
 def fig08_training_databases(scale: BenchScale = DEFAULT) -> dict:
     """DACE vs Zero-Shot on workload-3 splits as training dbs grow."""
     w3 = get_workload3(scale)
@@ -437,6 +451,7 @@ def fig08_training_databases(scale: BenchScale = DEFAULT) -> dict:
 # --------------------------------------------------------------------- #
 # Fig 9 — cold start: MSCN vs DACE-MSCN by training queries
 # --------------------------------------------------------------------- #
+@cell("fig09")
 def fig09_cold_start(scale: BenchScale = DEFAULT) -> dict:
     """MSCN vs DACE-MSCN at growing training-set sizes (JOB-light eval)."""
     w3 = get_workload3(scale)
@@ -477,6 +492,7 @@ def fig09_cold_start(scale: BenchScale = DEFAULT) -> dict:
 # --------------------------------------------------------------------- #
 # Fig 10 — ablation: tree attention / sub-plans / loss adjuster
 # --------------------------------------------------------------------- #
+@cell("fig10")
 def fig10_ablation(scale: BenchScale = DEFAULT) -> dict:
     """DACE vs w/o TA (no tree attention), w/o SP (alpha=0), w/o LA (alpha=1)."""
     w3 = get_workload3(scale)
@@ -509,6 +525,7 @@ def fig10_ablation(scale: BenchScale = DEFAULT) -> dict:
 # --------------------------------------------------------------------- #
 # Fig 11 — robustness to plan size (loss adjuster ablation)
 # --------------------------------------------------------------------- #
+@cell("fig11")
 def fig11_nodes_ablation(scale: BenchScale = DEFAULT) -> dict:
     """DACE vs DACE w/o LA by plan node count, on unseen imdb queries."""
     test = get_workload1(scale)["imdb"]
@@ -535,6 +552,7 @@ def fig11_nodes_ablation(scale: BenchScale = DEFAULT) -> dict:
 # --------------------------------------------------------------------- #
 # Fig 12 — estimated vs actual cardinality inputs
 # --------------------------------------------------------------------- #
+@cell("fig12")
 def fig12_actual_cardinality(scale: BenchScale = DEFAULT) -> dict:
     """DACE vs DACE-A (true cardinalities) by number of training dbs."""
     w3 = get_workload3(scale)

@@ -25,6 +25,7 @@ from repro.bench.cache import (
     training_sets,
 )
 from repro.bench.config import DEFAULT, BenchScale
+from repro.experiments.registry import cell
 from repro.core.ensemble import DACEEnsemble
 from repro.core.model import DACEConfig
 from repro.core.trainer import TrainingConfig
@@ -32,6 +33,7 @@ from repro.metrics import format_table, qerror_summary
 from repro.nn.losses import qerror
 
 
+@cell("alpha")
 def ablation_alpha(
     scale: BenchScale = DEFAULT,
     alphas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
@@ -59,6 +61,7 @@ def ablation_alpha(
     return {"results": results, "table": table}
 
 
+@cell("capacity")
 def ablation_capacity(
     scale: BenchScale = DEFAULT,
     attention_dims: Sequence[int] = (32, 64, 128, 256),
@@ -100,6 +103,7 @@ def ablation_capacity(
     return {"results": results, "table": table}
 
 
+@cell("cardknowledge")
 def cardinality_knowledge(scale: BenchScale = DEFAULT) -> dict:
     """The paper's future work, implemented: DACE vs DACE-D vs DACE-A.
 
@@ -164,6 +168,7 @@ def cardinality_knowledge(scale: BenchScale = DEFAULT) -> dict:
     return {"results": results, "table": table}
 
 
+@cell("taxonomy")
 def drift_taxonomy(scale: BenchScale = DEFAULT) -> dict:
     """The paper's Fig 1 taxonomy, measured: Drift I–V in one table.
 
@@ -293,6 +298,7 @@ def drift_taxonomy(scale: BenchScale = DEFAULT) -> dict:
     return {"results": results, "dace_lora_v": lora_v, "table": table}
 
 
+@cell("apps")
 def apps_end_to_end(scale: BenchScale = DEFAULT) -> dict:
     """Downstream payoff: plan selection and scheduling with DACE.
 
@@ -353,6 +359,7 @@ def apps_end_to_end(scale: BenchScale = DEFAULT) -> dict:
     }
 
 
+@cell("ensemble")
 def ensemble_uncertainty(
     scale: BenchScale = DEFAULT, n_members: int = 3
 ) -> dict:

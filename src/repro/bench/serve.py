@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.bench.cache import get_workload1, pretrain_dace
 from repro.bench.config import DEFAULT, BenchScale
+from repro.experiments.registry import cell
 from repro.featurize.catcher import catch_plan
 from repro.metrics.tables import format_table
 from repro.nn import no_grad
@@ -40,6 +41,7 @@ def _legacy_predict_plan(model, encoder, plan) -> float:
     return float(pred.data[0, 0])
 
 
+@cell("serving")
 def serve_throughput(scale: BenchScale = DEFAULT) -> dict:
     """Plans/sec of the serving paths over a repeated-plan workload."""
     dace = pretrain_dace(scale, exclude="imdb")
@@ -120,6 +122,7 @@ def serve_throughput(scale: BenchScale = DEFAULT) -> dict:
     }
 
 
+@cell("concurrency")
 def serve_concurrency(scale: BenchScale = DEFAULT) -> dict:
     """Closed-loop concurrent throughput through the worker-pool front-end.
 
@@ -287,6 +290,7 @@ def serve_concurrency(scale: BenchScale = DEFAULT) -> dict:
     }
 
 
+@cell("obsoverhead")
 def obs_overhead(scale: BenchScale = DEFAULT) -> dict:
     """Instrumentation cost on the warm-cache serving path.
 

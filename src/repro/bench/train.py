@@ -34,6 +34,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.bench.config import DEFAULT, BenchScale
+from repro.experiments.registry import cell
 from repro.catalog.zoo import load_database
 from repro.core.model import DACEConfig, DACEModel
 from repro.core.trainer import Trainer, TrainingConfig, catch_dataset
@@ -204,6 +205,7 @@ def _losses(history: List[dict]) -> List[Tuple[float, float]]:
     return [(h["train_loss"], h["val_loss"]) for h in history]
 
 
+@cell("train")
 def train_throughput(scale: BenchScale = DEFAULT) -> dict:
     """Epochs/second of both training paths, plus the bit-identity audit."""
     train = _training_workload(scale)

@@ -301,40 +301,134 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    import repro.bench as bench
+    from repro.bench.config import resolve_scale
+    from repro.experiments import cell_names, get_cell
 
-    scales = {"smoke": bench.SMOKE, "default": bench.DEFAULT,
-              "paper": bench.PAPER}
-    runners = {
-        "fig04": bench.fig04_zeroshot_nodes,
-        "fig05": bench.fig05_overall_accuracy,
-        "tab1": bench.tab1_workload3,
-        "fig06": bench.fig06_knowledge_integration,
-        "tab2": bench.tab2_efficiency,
-        "fig07": bench.fig07_data_drift,
-        "fig08": bench.fig08_training_databases,
-        "fig09": bench.fig09_cold_start,
-        "fig10": bench.fig10_ablation,
-        "fig11": bench.fig11_nodes_ablation,
-        "fig12": bench.fig12_actual_cardinality,
-        "alpha": bench.ablation_alpha,
-        "capacity": bench.ablation_capacity,
-        "ensemble": bench.ensemble_uncertainty,
-        "apps": bench.apps_end_to_end,
-        "taxonomy": bench.drift_taxonomy,
-        "cardknowledge": bench.cardinality_knowledge,
-        "serving": bench.serve_throughput,
-        "concurrency": bench.serve_concurrency,
-        "obsoverhead": bench.obs_overhead,
-        "chaos": bench.chaos_resilience,
-        "train": bench.train_throughput,
-    }
     if args.experiment == "list":
-        for name in runners:
+        for name in cell_names():
             print(name)
         return 0
-    result = runners[args.experiment](scales[args.scale])
+    try:
+        runner = get_cell(args.experiment)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        raise SystemExit(2)
+    result = runner(resolve_scale(args.scale))
     print(result["table"])
+    return 0
+
+
+_DEFAULT_RESULTS_DIR = "benchmarks/results"
+
+
+def _results_dir(args: argparse.Namespace) -> str:
+    import os
+
+    return (args.results_dir
+            or os.environ.get("REPRO_RESULTS_DIR")
+            or _DEFAULT_RESULTS_DIR)
+
+
+def _parse_axis_value(text: str):
+    """One axis value from the command line: int, float, bool, tuple, str."""
+    if ":" in text:
+        return tuple(_parse_axis_value(part) for part in text.split(":"))
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axes(entries) -> dict:
+    """``--axis name=v1,v2`` pairs into an axes mapping."""
+    axes = {}
+    for entry in entries or ():
+        name, sep, values = entry.partition("=")
+        if not sep or not name:
+            raise SystemExit(
+                f"error: --axis expects name=v1,v2,...; got {entry!r}"
+            )
+        axes[name.strip()] = [
+            _parse_axis_value(value) for value in values.split(",")
+        ]
+    return axes
+
+
+def _cmd_exp_run(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentSpec, ResultsStore, Runner
+    from repro.obs import to_json_lines
+
+    store = ResultsStore(root=_results_dir(args), scale=args.scale)
+
+    def on_cell(status, config, wall):
+        marker = {"ran": "ran ", "skipped": "skip", "failed": "FAIL"}[status]
+        line = f"[{marker}] {config.id}  {config.label}"
+        if status == "ran":
+            line += f"  ({wall:.2f}s)"
+        print(line)
+
+    runner = Runner(store, workers=args.workers, on_cell=on_cell)
+    try:
+        spec = ExperimentSpec(
+            args.experiments, scale=args.scale, axes=_parse_axes(args.axis)
+        )
+        summary = runner.run(spec, force=args.force)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        raise SystemExit(2)
+    store.save_run_summary(summary)
+    print(summary.format())
+    print(f"cells: {store.cells_dir}")
+    if args.metrics:
+        report = to_json_lines(runner.metrics)
+        with open(args.metrics, "w") as handle:
+            handle.write(report if report.endswith("\n") else report + "\n")
+        print(f"metrics written to {args.metrics}")
+    return 1 if summary.failed else 0
+
+
+def _cmd_exp_ls(args: argparse.Namespace) -> int:
+    from repro.experiments import format_metrics_report, load_results_from_dir
+
+    directory = _results_dir(args)
+    if args.scale:
+        import os
+
+        directory = os.path.join(directory, args.scale)
+    print(format_metrics_report(load_results_from_dir(directory)))
+    return 0
+
+
+def _cmd_exp_report(args: argparse.Namespace) -> int:
+    from repro.experiments import load_results_from_dir
+
+    directory = _results_dir(args)
+    if args.scale:
+        import os
+
+        directory = os.path.join(directory, args.scale)
+    cells = load_results_from_dir(directory)
+    if args.experiment:
+        cells = [c for c in cells if c.experiment == args.experiment]
+    if not cells:
+        print("error: no stored cells match; run 'repro exp run' first",
+              file=sys.stderr)
+        return 1
+    print("\n\n".join(cell.table for cell in cells))
+    return 0
+
+
+def _cmd_exp_clean(args: argparse.Namespace) -> int:
+    from repro.experiments import ResultsStore
+
+    store = ResultsStore(root=_results_dir(args), scale=args.scale)
+    removed = store.clean()
+    print(f"removed {removed} cell(s) from {store.cells_dir}")
     return 0
 
 
@@ -451,20 +545,67 @@ def build_parser() -> argparse.ArgumentParser:
                      default="table")
     obs.set_defaults(func=_cmd_obs)
 
+    from repro.bench.config import SCALES
+
     bench = sub.add_parser(
         "bench", help="run one of the paper's experiments"
     )
     bench.add_argument(
         "experiment",
-        choices=["list", "fig04", "fig05", "tab1", "fig06", "tab2", "fig07",
-                 "fig08", "fig09", "fig10", "fig11", "fig12", "alpha",
-                 "capacity", "ensemble", "apps", "taxonomy",
-                 "cardknowledge", "serving", "obsoverhead", "chaos",
-                 "train"],
+        help="experiment name from the cell registry, or 'list'",
     )
-    bench.add_argument("--scale", choices=["smoke", "default", "paper"],
-                       default="smoke")
+    bench.add_argument("--scale", choices=sorted(SCALES), default="smoke")
     bench.set_defaults(func=_cmd_bench)
+
+    exp = sub.add_parser(
+        "exp", help="declarative experiment matrices with resumable cells"
+    )
+    exp_sub = exp.add_subparsers(dest="exp_command", required=True)
+
+    exp_run = exp_sub.add_parser(
+        "run", help="expand a matrix and run every cell not already stored"
+    )
+    exp_run.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                         help="registered experiment name(s); "
+                              "see 'repro bench list'")
+    exp_run.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    exp_run.add_argument("--axis", action="append", metavar="NAME=V1,V2",
+                         help="one matrix axis: a BenchScale field or a "
+                              "cell-function keyword (repeatable; 'a:b' "
+                              "parses as a tuple value)")
+    exp_run.add_argument("--workers", type=int, default=1,
+                         help="thread-pool width for cell fan-out")
+    exp_run.add_argument("--results-dir", default=None,
+                         help="results root (default: $REPRO_RESULTS_DIR "
+                              f"or {_DEFAULT_RESULTS_DIR})")
+    exp_run.add_argument("--force", action="store_true",
+                         help="recompute cells even when a valid result "
+                              "is stored")
+    exp_run.add_argument("--metrics", default=None,
+                         help="write experiments.* metrics (JSON lines) "
+                              "to this path")
+    exp_run.set_defaults(func=_cmd_exp_run)
+
+    exp_ls = exp_sub.add_parser("ls", help="summarize stored cells")
+    exp_ls.add_argument("--scale", default=None)
+    exp_ls.add_argument("--results-dir", default=None)
+    exp_ls.set_defaults(func=_cmd_exp_ls)
+
+    exp_report = exp_sub.add_parser(
+        "report", help="print stored paper tables without recomputing"
+    )
+    exp_report.add_argument("--experiment", default=None,
+                            help="only cells of this experiment")
+    exp_report.add_argument("--scale", default=None)
+    exp_report.add_argument("--results-dir", default=None)
+    exp_report.set_defaults(func=_cmd_exp_report)
+
+    exp_clean = exp_sub.add_parser(
+        "clean", help="delete stored cells at one scale"
+    )
+    exp_clean.add_argument("--scale", default="smoke")
+    exp_clean.add_argument("--results-dir", default=None)
+    exp_clean.set_defaults(func=_cmd_exp_clean)
     return parser
 
 

@@ -167,7 +167,9 @@ class CardinalityEstimator:
         """Estimated rows of joining a connected subset of query tables."""
         table_set = set(tables)
         rows = 1.0
-        for table in table_set:
+        # Sorted: float multiplication order must not depend on string
+        # hash randomization, or cost ties break differently per process.
+        for table in sorted(table_set):
             rows *= self.scan_rows(table, query.predicates_on(table))
         for join in query.joins:
             left, right = join.tables()

@@ -147,8 +147,13 @@ class TrueCardinalityCalculator:
             for join in remaining_joins:
                 degree[join.left_table] += 1
                 degree[join.right_table] += 1
+            # Sorted so the elimination order — and therefore the float
+            # summation order — is identical in every process; a set walk
+            # here varies with hash randomization and perturbs labels in
+            # the last ulp.
             leaf = next(
-                t for t in remaining_tables if degree[t] == 1 and t != root
+                t for t in sorted(remaining_tables)
+                if degree[t] == 1 and t != root
             )
             join = next(
                 j for j in remaining_joins

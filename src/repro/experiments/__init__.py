@@ -1,0 +1,81 @@
+"""Declarative experiment matrices with content-hashed, resumable cells.
+
+Every DACE result is one cell of a matrix — workload × held-out database
+× drift regime × chaos rate × LoRA rank × bench scale.  This package
+makes that matrix explicit:
+
+- :class:`~repro.experiments.config.ExperimentConfig` — a fully-resolved
+  config with a stable ID (sha256 of canonical JSON), so identical
+  configs are identical cells wherever they are computed;
+- :class:`~repro.experiments.matrix.ExperimentSpec` /
+  :data:`~repro.experiments.matrix.Matrix` — the declarative cartesian
+  product of axes, with ``pin()``/``filter()`` narrowing;
+- :func:`~repro.experiments.registry.cell` — the decorator that turns a
+  ``repro.bench`` figure runner into a registered cell function;
+- :class:`~repro.experiments.runner.Runner` — fans cells out over a
+  thread pool, skips cells whose valid result already exists on disk
+  under the config hash, and records ``experiments.*`` obs metrics;
+- :class:`~repro.experiments.store.ResultsStore` — one JSON file per
+  cell under ``benchmarks/results/<scale>/cells/<config-id>.json``, plus
+  :func:`~repro.experiments.store.load_results_from_dir` and
+  :func:`~repro.experiments.store.format_metrics_report` to regenerate
+  paper tables from stored cells without recomputing.
+
+CLI surface: ``repro exp run|ls|report|clean`` (see ``repro.cli``).
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    canonical_json,
+    canonical_value,
+    config_id,
+)
+from repro.experiments.matrix import Axis, ExperimentSpec, Matrix
+from repro.experiments.registry import (
+    cell,
+    cell_names,
+    ensure_builtin_cells,
+    get_cell,
+    register_cell,
+    unregister_cell,
+)
+from repro.experiments.store import (
+    CELL_SCHEMA,
+    PERF_SCHEMA,
+    CellCorruptError,
+    CellResult,
+    ResultsStore,
+    RunSummary,
+    format_metrics_report,
+    jsonable,
+    load_results_from_dir,
+    write_json_atomic,
+)
+from repro.experiments.runner import Runner
+
+__all__ = [
+    "ExperimentConfig",
+    "canonical_json",
+    "canonical_value",
+    "config_id",
+    "Axis",
+    "ExperimentSpec",
+    "Matrix",
+    "cell",
+    "cell_names",
+    "ensure_builtin_cells",
+    "get_cell",
+    "register_cell",
+    "unregister_cell",
+    "CELL_SCHEMA",
+    "PERF_SCHEMA",
+    "CellCorruptError",
+    "CellResult",
+    "ResultsStore",
+    "RunSummary",
+    "format_metrics_report",
+    "jsonable",
+    "load_results_from_dir",
+    "write_json_atomic",
+    "Runner",
+]

@@ -1,0 +1,126 @@
+"""Content-hashed experiment configurations.
+
+An :class:`ExperimentConfig` is one fully-resolved cell of the experiment
+matrix: a flat, JSON-native mapping (experiment name, scale name, axis
+values) plus a human-readable label.  Its identity is a sha256 of the
+canonical-JSON rendering of that mapping, so
+
+- identical configs produce identical IDs, whatever the key insertion
+  order and whichever process computes them (nothing routes through
+  Python's randomized ``hash``);
+- any change to any knob produces a different ID;
+- the ID is safe to use as a filename
+  (``benchmarks/results/<scale>/cells/<id>.json``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+# Length of the hex ID prefix.  64 bits of sha256 — collisions would need
+# billions of distinct configs, far beyond any real matrix.
+ID_HEX_CHARS = 16
+
+
+def canonical_value(value: Any) -> Any:
+    """Normalize ``value`` to JSON-native types, or raise ``TypeError``.
+
+    Tuples become lists and numpy scalars become their Python
+    equivalents, so ``(1.0, 2.0)`` and ``[1.0, 2.0]`` (and a numpy float
+    among them) all hash identically.  Anything that is not expressible
+    as plain JSON is rejected outright — a config that cannot round-trip
+    through JSON could never be re-identified from disk.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)  # np.float64 subclasses float; force the base
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"config keys must be strings, got {key!r}"
+                )
+            out[key] = canonical_value(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    raise TypeError(
+        f"config values must be JSON-native (str/int/float/bool/None, "
+        f"lists or string-keyed dicts of those); got {type(value).__name__}: "
+        f"{value!r}"
+    )
+
+
+def canonical_json(config: Mapping[str, Any]) -> str:
+    """The canonical JSON rendering hashed into the config ID.
+
+    Sorted keys, no whitespace, normalized value types — two configs
+    render identically if and only if they mean the same cell.
+    """
+    return json.dumps(
+        canonical_value(config), sort_keys=True, separators=(",", ":")
+    )
+
+
+def config_id(config: Mapping[str, Any]) -> str:
+    """Stable content hash of a config mapping (16 hex chars)."""
+    payload = canonical_json(config).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:ID_HEX_CHARS]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A single fully-resolved, labeled config with a stable identity.
+
+    ``config`` is normalized on construction (tuples → lists, numpy
+    scalars → Python scalars) so the stored mapping is exactly what the
+    ID was computed from.  Passing an explicit ``id`` (e.g. when
+    rehydrating from disk) is verified against the content hash — a
+    mismatch means the file was renamed or edited.
+    """
+
+    label: str
+    config: Mapping[str, Any]
+    id: str = field(default="")
+
+    def __post_init__(self) -> None:
+        normalized = canonical_value(dict(self.config))
+        object.__setattr__(self, "config", normalized)
+        computed = config_id(normalized)
+        if not self.id:
+            object.__setattr__(self, "id", computed)
+        elif self.id != computed:
+            raise ValueError(
+                f"config id mismatch: given {self.id!r} but contents hash "
+                f"to {computed!r}"
+            )
+
+    @property
+    def experiment(self) -> str:
+        """The registered cell-function name this config runs."""
+        return str(self.config.get("experiment", ""))
+
+    @property
+    def scale(self) -> str:
+        """The bench-scale name this config runs at."""
+        return str(self.config.get("scale", ""))
+
+    def params(self) -> dict:
+        """Axis values only (everything but ``experiment``/``scale``)."""
+        return {
+            key: value for key, value in self.config.items()
+            if key not in ("experiment", "scale")
+        }

@@ -1,0 +1,70 @@
+"""The cell registry: experiment names → cell functions.
+
+A *cell function* is any callable with the bench-runner signature
+``fn(scale: BenchScale, **params) -> dict`` whose result carries a
+``"table"`` key.  `repro.bench` decorates its figure/table runners with
+:func:`cell` at import time, so registering a new experiment is one
+decorator — the matrix, the resumable runner, and the ``repro bench`` /
+``repro exp`` CLIs all pick it up from here.
+
+The registry itself never imports ``repro.bench`` at module level (the
+bench modules import *us* to decorate themselves); callers that want the
+built-in cells present call :func:`ensure_builtin_cells` first, which
+imports the bench package exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+_CELLS: Dict[str, Callable] = {}
+_builtins_loaded = False
+
+
+def register_cell(name: str, fn: Callable) -> Callable:
+    """Register ``fn`` under ``name``, replacing any previous owner."""
+    _CELLS[name] = fn
+    return fn
+
+
+def cell(name: str) -> Callable[[Callable], Callable]:
+    """Decorator form of :func:`register_cell`::
+
+        @cell("fig07")
+        def fig07_data_drift(scale=DEFAULT): ...
+    """
+    def decorate(fn: Callable) -> Callable:
+        return register_cell(name, fn)
+    return decorate
+
+
+def unregister_cell(name: str) -> None:
+    """Remove a registration (used by tests to clean up dummies)."""
+    _CELLS.pop(name, None)
+
+
+def ensure_builtin_cells() -> None:
+    """Import ``repro.bench`` once so its decorators have run."""
+    global _builtins_loaded
+    if not _builtins_loaded:
+        import repro.bench  # noqa: F401  (registration side effect)
+
+        _builtins_loaded = True
+
+
+def get_cell(name: str) -> Callable:
+    """Look up a cell function, or raise with the valid names."""
+    ensure_builtin_cells()
+    try:
+        return _CELLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; valid names: "
+            f"{', '.join(cell_names())}"
+        ) from None
+
+
+def cell_names() -> List[str]:
+    """All registered experiment names, sorted."""
+    ensure_builtin_cells()
+    return sorted(_CELLS)

@@ -1,0 +1,228 @@
+"""Resumable matrix execution.
+
+The :class:`Runner` turns a spec (or a plain list of configs) into cell
+files.  Discipline mirrors ``repro.serve.concurrent``: determinism comes
+from the seeded configs, never from scheduling — every cell derives all
+of its randomness from the ``BenchScale`` it is handed, so a thread-pool
+run and a serial run of the same matrix produce byte-identical cells in
+whatever order they land.
+
+Resume is content-addressed: before running a cell the runner probes the
+store for a *valid* file under the config hash.  A hit is skipped, a
+corrupt file (truncated write, hand-edited JSON, hash mismatch) is
+counted and re-run, and a failure in one cell never takes down the rest
+of the matrix.
+
+Axis routing: each config param is either a ``BenchScale`` field (applied
+with ``dataclasses.replace`` — lists round-trip back to tuples) or a
+keyword of the cell function (validated against its signature before
+anything executes, so a typo'd axis fails fast with the valid names).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, \
+    Union
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.matrix import ExperimentSpec
+from repro.experiments.registry import get_cell
+from repro.experiments.store import CellResult, ResultsStore, RunSummary, \
+    jsonable
+
+
+class _PlannedCell:
+    """A config paired with everything needed to execute it."""
+
+    __slots__ = ("config", "fn", "scale", "kwargs")
+
+    def __init__(self, config, fn, scale, kwargs) -> None:
+        self.config = config
+        self.fn = fn
+        self.scale = scale
+        self.kwargs = kwargs
+
+
+class Runner:
+    """Fan a list of configs out over a thread pool, resumably.
+
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) receives
+    ``experiments.cells_run`` / ``cells_skipped`` / ``cells_failed`` /
+    ``cells_corrupt`` counters and the ``experiments.cell_seconds``
+    histogram.  ``on_cell(status, config, wall_seconds)`` fires after
+    each cell with status ``"ran"``/``"skipped"``/``"failed"`` — the CLI
+    uses it for per-cell progress lines.
+    """
+
+    def __init__(
+        self,
+        store: ResultsStore,
+        workers: int = 1,
+        metrics=None,
+        on_cell: Optional[Callable[[str, ExperimentConfig, float],
+                                   None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = store
+        self.workers = workers
+        if metrics is None:
+            from repro.obs import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self.on_cell = on_cell
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def _plan(
+        self,
+        configs: Sequence[ExperimentConfig],
+        known_scales: Optional[Dict[str, Any]] = None,
+    ) -> List[_PlannedCell]:
+        """Resolve every config before running any — fail fast on typos.
+
+        ``known_scales`` carries non-preset ``BenchScale`` instances from
+        the spec (custom scales exist only in the object that declared
+        them; presets resolve by name).
+        """
+        from repro.bench.config import BenchScale, resolve_scale
+
+        known_scales = known_scales or {}
+        scale_fields = {f.name for f in dataclasses.fields(BenchScale)}
+        planned: List[_PlannedCell] = []
+        seen_ids = set()
+        for config in configs:
+            if config.id in seen_ids:
+                continue
+            seen_ids.add(config.id)
+            fn = get_cell(config.experiment)
+            if config.scale in known_scales:
+                scale = known_scales[config.scale]
+            else:
+                scale = resolve_scale(config.scale)
+            overrides: Dict[str, Any] = {}
+            kwargs: Dict[str, Any] = {}
+            signature = inspect.signature(fn)
+            accepts_any = any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in signature.parameters.values()
+            )
+            fn_params = set(signature.parameters) - {"scale"}
+            for name, value in config.params().items():
+                if name in scale_fields:
+                    # Canonical JSON stored lists; scale fields that are
+                    # declared as tuples want tuples back.
+                    if isinstance(value, list):
+                        value = tuple(value)
+                    overrides[name] = value
+                elif name in fn_params or accepts_any:
+                    kwargs[name] = value
+                else:
+                    valid = sorted(scale_fields | fn_params)
+                    raise ValueError(
+                        f"unknown axis {name!r} for experiment "
+                        f"{config.experiment!r}; valid axes: "
+                        f"{', '.join(valid)}"
+                    )
+            if overrides:
+                scale = dataclasses.replace(scale, **overrides)
+            planned.append(_PlannedCell(config, fn, scale, kwargs))
+        return planned
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        spec_or_configs: Union[ExperimentSpec, Sequence[ExperimentConfig]],
+        force: bool = False,
+    ) -> RunSummary:
+        """Execute every cell not already stored; return the summary.
+
+        ``force=True`` recomputes and overwrites even valid cells.
+        """
+        known_scales: Dict[str, Any] = {}
+        if isinstance(spec_or_configs, ExperimentSpec):
+            spec = spec_or_configs
+            configs = spec.expand()
+            known_scales[spec.scale_name] = spec.resolve_scale()
+        else:
+            configs = list(spec_or_configs)
+        planned = self._plan(configs, known_scales)
+
+        summary = RunSummary(
+            scale=self.store.scale, started_unix=time.time()
+        )
+        lock = threading.Lock()
+        started = time.perf_counter()
+
+        def execute(cell: _PlannedCell) -> None:
+            entry = {
+                "config_id": cell.config.id,
+                "experiment": cell.config.experiment,
+                "label": cell.config.label,
+            }
+            if not force:
+                stored = self.store.try_load(cell.config)
+                if stored is not None:
+                    self.metrics.counter("experiments.cells_skipped").inc()
+                    with lock:
+                        summary.skipped.append(entry)
+                    self._notify("skipped", cell.config, 0.0)
+                    return
+                if self.store.path_exists(cell.config):
+                    # A file exists but try_load rejected it: corrupt.
+                    self.metrics.counter("experiments.cells_corrupt").inc()
+                    with lock:
+                        summary.corrupt.append(cell.config.id)
+            cell_start = time.perf_counter()
+            try:
+                result = cell.fn(cell.scale, **cell.kwargs)
+            except Exception as exc:
+                wall = time.perf_counter() - cell_start
+                self.metrics.counter("experiments.cells_failed").inc()
+                with lock:
+                    summary.failed.append(dict(entry, error=repr(exc)))
+                self._notify("failed", cell.config, wall)
+                return
+            wall = time.perf_counter() - cell_start
+            payload = dict(result)
+            table = payload.pop("table", "")
+            self.store.save(CellResult(
+                config_id=cell.config.id,
+                label=cell.config.label,
+                experiment=cell.config.experiment,
+                scale=self.store.scale,
+                config=dict(cell.config.config),
+                table=table,
+                results=jsonable(payload),
+                wall_seconds=wall,
+                created_unix=time.time(),
+            ))
+            self.metrics.counter("experiments.cells_run").inc()
+            self.metrics.histogram("experiments.cell_seconds").observe(wall)
+            with lock:
+                summary.ran.append(dict(entry, wall_seconds=wall))
+            self._notify("ran", cell.config, wall)
+
+        if self.workers == 1 or len(planned) <= 1:
+            for cell in planned:
+                execute(cell)
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                list(pool.map(execute, planned))
+
+        summary.wall_seconds = time.perf_counter() - started
+        return summary
+
+    def _notify(self, status: str, config: ExperimentConfig,
+                wall: float) -> None:
+        if self.on_cell is not None:
+            self.on_cell(status, config, wall)

@@ -122,6 +122,41 @@ class TestRunners:
         assert set(result["results"]) == {"DACE", "DACE-A"}
 
 
+class TestMatrix:
+    """The experiment matrix drives real bench cells, resumably."""
+
+    def test_runner_cell_byte_equal_to_direct_call(self, tmp_path):
+        from repro.experiments import ExperimentSpec, ResultsStore, Runner
+
+        store = ResultsStore(root=str(tmp_path), scale="tiny")
+        spec = ExperimentSpec("fig04", scale=TINY)
+        summary = Runner(store).run(spec)
+        assert len(summary.ran) == 1
+
+        cell = store.load_all()[0]
+        direct = fig04_zeroshot_nodes(TINY)
+        assert cell.table == direct["table"]
+        assert cell.wall_seconds > 0
+
+        # Second run resumes from the stored cell without recomputing.
+        resumed = Runner(store).run(spec)
+        assert len(resumed.skipped) == 1
+        assert not resumed.ran
+
+    def test_held_out_db_axis(self, tmp_path):
+        from repro.experiments import ExperimentSpec, ResultsStore, Runner
+
+        store = ResultsStore(root=str(tmp_path), scale="tiny")
+        spec = ExperimentSpec(
+            "fig04", scale=TINY, axes={"exclude": ["imdb", "tpc_h"]},
+        )
+        summary = Runner(store).run(spec)
+        assert len(summary.ran) == 2
+        tables = {c.config["exclude"]: c.table for c in store.load_all()}
+        assert "unseen imdb" in tables["imdb"]
+        assert "unseen tpc_h" in tables["tpc_h"]
+
+
 class TestCaching:
     def test_pretrained_dace_cached(self):
         from repro.bench import pretrain_dace

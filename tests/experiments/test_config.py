@@ -1,0 +1,105 @@
+"""Config identity: canonical JSON, hashing, and cross-process stability."""
+
+import os
+import subprocess
+import sys
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    canonical_json,
+    canonical_value,
+    config_id,
+)
+
+
+class TestCanonicalValue:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 0, 3, -1.5, "imdb"):
+            assert canonical_value(value) == value
+
+    def test_tuples_become_lists(self):
+        assert canonical_value((1.0, 2.0)) == [1.0, 2.0]
+        assert canonical_value({"a": (1, (2, 3))}) == {"a": [1, [2, 3]]}
+
+    def test_numpy_scalars_become_python(self):
+        out = canonical_value({
+            "i": np.int64(3), "f": np.float64(0.5), "b": np.bool_(True),
+        })
+        assert out == {"i": 3, "f": 0.5, "b": True}
+        assert type(out["i"]) is int
+        assert type(out["f"]) is float
+        assert type(out["b"]) is bool
+
+    def test_non_json_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_value({"fn": len})
+        with pytest.raises(TypeError):
+            canonical_value({1: "non-string key"})
+
+
+class TestConfigId:
+    def test_key_order_irrelevant(self):
+        a = {"experiment": "fig07", "scale": "smoke", "seed": 1}
+        b = {"seed": 1, "scale": "smoke", "experiment": "fig07"}
+        assert config_id(a) == config_id(b)
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_tuple_and_list_hash_identically(self):
+        a = {"drift_factors": (1.0, 2.0)}
+        b = {"drift_factors": [1.0, 2.0]}
+        assert config_id(a) == config_id(b)
+
+    def test_any_knob_changes_the_id(self):
+        base = {"experiment": "chaos", "scale": "smoke", "fault_rate": 0.1}
+        assert config_id(base) != config_id(dict(base, fault_rate=0.2))
+        assert config_id(base) != config_id(dict(base, scale="default"))
+        assert config_id(base) != config_id(dict(base, extra=0))
+
+    def test_stable_across_process_restarts(self):
+        """The ID must not route through Python's randomized hash()."""
+        config = {"experiment": "fig07", "scale": "smoke",
+                  "drift_factors": [1.0, 4.0], "seed": 3}
+        here = config_id(config)
+        script = (
+            "from repro.experiments import config_id;"
+            f"print(config_id({config!r}))"
+        )
+        for seed in ("0", "1", "random"):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": os.path.join(_REPO_ROOT, "src"),
+                     "PYTHONHASHSEED": seed,
+                     "PATH": os.environ.get("PATH", "/usr/bin:/bin")},
+                cwd=_REPO_ROOT,
+            ).stdout.strip()
+            assert out == here
+
+
+class TestExperimentConfig:
+    def test_id_computed_and_config_normalized(self):
+        config = ExperimentConfig(
+            label="fig07@smoke",
+            config={"experiment": "fig07", "scale": "smoke",
+                    "drift_factors": (1.0, 2.0)},
+        )
+        assert config.id == config_id(config.config)
+        assert config.config["drift_factors"] == [1.0, 2.0]
+        assert config.experiment == "fig07"
+        assert config.scale == "smoke"
+        assert config.params() == {"drift_factors": [1.0, 2.0]}
+
+    def test_explicit_id_verified(self):
+        payload = {"experiment": "fig07", "scale": "smoke"}
+        good = config_id(payload)
+        rehydrated = ExperimentConfig(label="x", config=payload, id=good)
+        assert rehydrated.id == good
+        with pytest.raises(ValueError, match="mismatch"):
+            ExperimentConfig(label="x", config=payload, id="0" * 16)
