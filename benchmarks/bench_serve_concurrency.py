@@ -4,12 +4,22 @@ The contract pinned here: 8 closed-loop clients through the worker pool
 get at least 2x the throughput of 1 client on the cache-miss workload
 (every request pays a real forward; coalescing is the only lever), and
 every concurrent run's predictions are byte-identical to the plain
-serial ``EstimatorService``.
+serial ``EstimatorService`` — whose reference runs ``fused=False``, so
+the equality also re-proves the fused kernel against the per-layer path
+under every concurrent interleaving.  The run writes a machine-readable
+perf record to ``BENCH_serve_concurrency.json`` (the
+``repro.experiments/perf-v1`` schema).
 """
 
+import os
+
 from repro.bench import serve_concurrency
+from repro.experiments import ResultsStore
 
 MIN_MISS_SPEEDUP = 2.0
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_serve_concurrency.json")
 
 
 def test_serve_concurrency(benchmark, bench_scale, write_result):
@@ -24,6 +34,16 @@ def test_serve_concurrency(benchmark, bench_scale, write_result):
         if retry["miss_speedup_8"] > result["miss_speedup_8"]:
             result = retry
     write_result("serve_concurrency", result["table"])
+    ResultsStore.write_perf_record(_JSON_PATH, {
+        "benchmark": "serve_concurrency",
+        "scale": bench_scale.name,
+        "n_plans": result["n_plans"],
+        "results": result["results"],
+        "miss_speedup_8": result["miss_speedup_8"],
+        "hit_speedup_8": result["hit_speedup_8"],
+        "all_bit_identical": result["all_bit_identical"],
+        "min_miss_speedup": MIN_MISS_SPEEDUP,
+    })
     assert result["table"]
     # Determinism is non-negotiable: coalesced batches must answer
     # byte-for-byte what the serial path answers.

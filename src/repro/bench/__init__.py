@@ -27,7 +27,7 @@ from repro.bench.extra import (
 )
 from repro.bench.chaos import chaos_resilience
 from repro.bench.serve import obs_overhead, serve_concurrency, \
-    serve_throughput
+    serve_fused, serve_throughput
 from repro.bench.train import train_throughput
 from repro.bench.experiments import (
     fig04_zeroshot_nodes,
@@ -75,6 +75,7 @@ __all__ = [
     "tab2_efficiency",
     "serve_throughput",
     "serve_concurrency",
+    "serve_fused",
     "obs_overhead",
     "chaos_resilience",
     "train_throughput",

@@ -12,6 +12,11 @@ loop (encode one plan, run one autograd forward, repeat):
   size-sorted chunks through ``model.infer``;
 - **cached** — a warm EstimatorService serving the whole workload from
   its fingerprint LRU.
+
+:func:`serve_fused` isolates the serving *forward* dispatch: plan-at-a-
+time per-layer ``Module.infer`` vs bucketed batches through the fused
+structure-of-arrays kernel (:class:`~repro.serve.fused.FusedInferStep`),
+with byte-identity asserted before any throughput number is believed.
 """
 
 from __future__ import annotations
@@ -122,6 +127,141 @@ def serve_throughput(scale: BenchScale = DEFAULT) -> dict:
     }
 
 
+@cell("fusedserve")
+def serve_fused(scale: BenchScale = DEFAULT) -> dict:
+    """Fused bucket forwards vs plan-at-a-time ``Module.infer`` serving.
+
+    Three cache-miss paths over one workload of fingerprint-unique plans
+    (uniqueness keeps in-call dedup from shrinking one side's work):
+
+    - **per-plan** — single-plan ``predict_plan`` calls through a
+      ``fused=False`` service: the serving hot path before this kernel,
+      every plan paying its own encode + per-layer ``Module.infer``;
+    - **batched per-layer** — ``predict_plans`` with ``fused=False``:
+      bucketed batching, per-layer forward;
+    - **batched fused** — ``predict_plans`` through the
+      :class:`~repro.serve.fused.FusedInferStep` kernel (the default).
+
+    Every path's predictions are checked byte-for-byte equal before any
+    number is reported, and the kernel itself is raced against
+    ``model.infer`` on one padded bucket.  The headline ratio uses the
+    same interleaved-pairs protocol as :func:`serve_concurrency`
+    (machine-wide drift hits both sides of a pair and cancels); the
+    acceptance gate in ``benchmarks/bench_serve_throughput.py`` holds it
+    at >= 2x for batches >= 32.
+    """
+    import gc
+    import statistics
+
+    from repro.serve.fused import FusedInferStep
+
+    dace = pretrain_dace(scale, exclude="imdb")
+    base = get_workload1(scale)["imdb"]
+    seen, plans = set(), []
+    for sample in base:
+        fingerprint = catch_plan(sample.plan).fingerprint()
+        if fingerprint not in seen:
+            seen.add(fingerprint)
+            plans.append(sample.plan)
+    n_plans = len(plans)
+    batch_size = max(32, dace.training.batch_size)
+
+    def service(fused) -> EstimatorService:
+        return EstimatorService(
+            dace.model, dace.encoder, batch_size=batch_size,
+            cache_size=0, fused=fused,
+        )
+
+    per_plan = service(False)
+    per_layer = service(False)
+    fused = service(None)
+    assert fused.fused_active
+
+    # Byte-identity first: a speedup that moves bits is a wrong answer.
+    reference = np.array([per_plan.predict_plan(plan) for plan in plans])
+    identical = (
+        bool(np.array_equal(per_layer.predict_plans(plans), reference))
+        and bool(np.array_equal(fused.predict_plans(plans), reference))
+    )
+
+    # Kernel vs per-layer forward on one padded bucket (model work only).
+    caught = [catch_plan(plan) for plan in plans]
+    bucket = [c for c in caught if c.num_nodes <= fused.pad_base]
+    bucket = (bucket or caught)[:batch_size]
+    kernel_batch = dace.encoder.encode_batch(
+        bucket, with_labels=False,
+        pad_to=fused._pad_width(max(c.num_nodes for c in bucket)),
+    )
+    step = FusedInferStep(dace.model)
+    kernel_identical = bool(np.array_equal(
+        step.forward(kernel_batch), dace.model.infer(kernel_batch)
+    ))
+
+    def best_of(fn, rounds: int) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    run_per_plan = lambda: [per_plan.predict_plan(plan) for plan in plans]
+    run_per_layer = lambda: per_layer.predict_plans(plans)
+    run_fused = lambda: fused.predict_plans(plans)
+    run_infer = lambda: dace.model.infer(kernel_batch)
+    run_kernel = lambda: step.forward(kernel_batch)
+
+    gc.collect()
+    gc.disable()
+    try:
+        for warm in (run_per_plan, run_per_layer, run_fused):
+            warm()
+        # Interleaved pairs: per-plan vs fused, median ratio across pairs.
+        ratios = []
+        per_plan_s = per_layer_s = fused_s = float("inf")
+        for _ in range(5):
+            pair_plan = best_of(run_per_plan, 2)
+            pair_fused = best_of(run_fused, 2)
+            per_plan_s = min(per_plan_s, pair_plan)
+            fused_s = min(fused_s, pair_fused)
+            ratios.append(pair_plan / pair_fused)
+        per_layer_s = best_of(run_per_layer, 4)
+        infer_s = best_of(run_infer, 30)
+        kernel_s = best_of(run_kernel, 30)
+    finally:
+        gc.enable()
+    fused_speedup = statistics.median(ratios)
+
+    rows = [
+        ["per-plan infer", per_plan_s / n_plans * 1e6, 1.0],
+        ["batched per-layer", per_layer_s / n_plans * 1e6,
+         per_plan_s / per_layer_s],
+        ["batched fused", fused_s / n_plans * 1e6, per_plan_s / fused_s],
+    ]
+    table = format_table(
+        ["path", "us/plan", "speedup"], rows,
+        title=f"Fused serving forward ({n_plans} unique plans, "
+              f"batch={batch_size}, cache-miss); paired-median fused "
+              f"speedup {fused_speedup:.2f}x; kernel vs infer "
+              f"{infer_s / kernel_s:.2f}x on ({len(bucket)}, "
+              f"{kernel_batch.max_nodes}) bucket",
+    )
+    return {
+        "table": table,
+        "n_plans": n_plans,
+        "batch_size": batch_size,
+        "per_plan_seconds": per_plan_s,
+        "per_layer_seconds": per_layer_s,
+        "fused_seconds": fused_s,
+        "fused_speedup": fused_speedup,
+        "fused_speedup_ratios": ratios,
+        "batched_speedup": per_plan_s / per_layer_s,
+        "kernel_speedup": infer_s / kernel_s,
+        "bit_identical": identical,
+        "kernel_bit_identical": kernel_identical,
+    }
+
+
 @cell("concurrency")
 def serve_concurrency(scale: BenchScale = DEFAULT) -> dict:
     """Closed-loop concurrent throughput through the worker-pool front-end.
@@ -172,8 +312,13 @@ def serve_concurrency(scale: BenchScale = DEFAULT) -> dict:
     plans = [base_plans[i % len(base_plans)] for i in range(n_plans)]
     batch_size = dace.training.batch_size
 
+    # The reference is pinned to the per-layer path (fused=False): the
+    # pools below serve through the fused kernel, so byte-equality here
+    # re-proves fused == per-layer on every concurrent run, not just
+    # pool == serial.
     serial = EstimatorService(
         dace.model, dace.encoder, batch_size=batch_size, cache_size=0,
+        fused=False,
     )
     reference = serial.predict_plans(plans)
 

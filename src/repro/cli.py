@@ -168,6 +168,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         CostFallback, MicroBatcher, ResilientEstimator
 
     dace = DACE.load(args.model)
+    if args.no_fused:
+        dace.service.disable_fused()
     dataset = _load_many(args.workload)
     plans = [sample.plan for sample in dataset]
     repeats = max(args.repeat, 1)
@@ -243,6 +245,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"micro-batches: {batcher.batches_run} "
               f"(max_batch={args.max_batch})")
     print(f"cache: {stats}")
+    fused_fwd = dace.metrics.counter("serve.fused.forwards").value
+    fused_fb = dace.metrics.counter("serve.fused.fallbacks").value
+    print(f"fused: forwards={fused_fwd} fallbacks={fused_fb}"
+          + (" (disabled)" if args.no_fused else ""))
     if predictions:
         print(f"latency range: {min(predictions):.3f} .. "
               f"{max(predictions):.3f} ms")
@@ -525,6 +531,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--resilient", action="store_true",
                        help="wrap serving in the retry/breaker/fallback "
                             "tier even without --chaos")
+    serve.add_argument("--no-fused", action="store_true",
+                       help="pin cache-miss forwards to the per-layer "
+                            "Module.infer path instead of the fused "
+                            "serving kernel (byte-identical; for "
+                            "debugging and A/B timing)")
     serve.set_defaults(func=_cmd_serve)
 
     cache = sub.add_parser(

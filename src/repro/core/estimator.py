@@ -49,6 +49,7 @@ class DACE:
         seed: int = 0,
         resilient: bool = False,
         workers: Optional[int] = None,
+        fused: Optional[bool] = None,
     ) -> None:
         # Defaults are constructed per instance: a def-time default would
         # be one shared (mutable) config across every DACE ever built.
@@ -66,9 +67,11 @@ class DACE:
         self.trainer = Trainer(
             self.model, self.encoder, self.training, metrics=self.metrics
         )
+        # fused=None auto-selects the fused serving kernel (byte-identical
+        # to per-layer Module.infer); False pins the per-layer path.
         self.service = EstimatorService(
             self.model, self.encoder, batch_size=self.training.batch_size,
-            metrics=self.metrics,
+            metrics=self.metrics, fused=fused,
         )
         # With workers=N, predict* traffic funnels through a thread-pool
         # front-end that coalesces concurrent single-plan calls into

@@ -7,6 +7,10 @@ Everything downstream of a trained model goes through this package:
 - :class:`~repro.serve.service.EstimatorService` — wraps a model +
   encoder behind the protocol with an LRU fingerprint cache and
   batch-sorted, no-graph inference;
+- :class:`~repro.serve.fused.FusedInferStep` — the fused
+  structure-of-arrays serving forward cache-miss buckets run through
+  (byte-identical to per-layer ``Module.infer``; LoRA-delta and
+  non-DACE configurations fall back automatically);
 - :class:`~repro.serve.batching.MicroBatcher` — coalesces single-plan
   call sites into batched inference, with per-handle error propagation
   and a queue-staleness flush deadline;
@@ -36,6 +40,7 @@ from repro.serve.chaos import (
     InjectedFault,
 )
 from repro.serve.estimator import Estimator, as_plan_scorers, resolve_predictions
+from repro.serve.fused import FusedInferStep, maybe_fused_infer
 from repro.serve.registry import ModelRegistry
 from repro.serve.resilience import (
     STATE_CLOSED,
@@ -51,6 +56,8 @@ from repro.serve.service import EstimatorService
 __all__ = [
     "Estimator",
     "EstimatorService",
+    "FusedInferStep",
+    "maybe_fused_infer",
     "ConcurrentEstimatorService",
     "PoolPrediction",
     "MicroBatcher",

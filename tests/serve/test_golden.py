@@ -114,6 +114,52 @@ class TestGoldenServe:
         assert np.all(golden > 0)
 
 
+class TestGoldenFused:
+    """The fused serving kernel is anchored to the same golden file.
+
+    The module fixture's DACE serves through the fused kernel by default,
+    so ``test_predictions_match_golden`` above already pins fused output
+    to the golden values; these tests make the dispatch explicit and pin
+    fused == per-layer == golden in one place.
+    """
+
+    def test_fused_engaged_for_golden_predictions(self, golden_setup):
+        dace, _, _ = golden_setup
+        assert dace.service.fused_active
+        assert dace.metrics.counter("serve.fused.forwards").value > 0
+
+    def test_fused_vs_per_layer_vs_golden(self, golden_setup):
+        """Same weights, fused on vs pinned off: byte-equal, both golden."""
+        from repro.serve import EstimatorService
+
+        dace, plans, predictions = golden_setup
+        per_layer = EstimatorService(
+            dace.model, dace.encoder,
+            batch_size=dace.service.batch_size, fused=False,
+        )
+        unfused = per_layer.predict_plans(plans)
+        np.testing.assert_array_equal(unfused, predictions)
+        golden = np.load(GOLDEN_PATH)["predictions"]
+        np.testing.assert_allclose(unfused, golden, rtol=1e-7)
+        assert per_layer.metrics.counter("serve.fused.forwards").value == 0
+
+    def test_workers_vs_serial_with_fused(self, golden_setup):
+        """workers=8 == workers=1 == plain service, fused engaged."""
+        from repro.serve import ConcurrentEstimatorService
+
+        dace, plans, predictions = golden_setup
+        before = dace.metrics.counter("serve.fused.forwards").value
+        dace.service.invalidate()      # force cache-miss fused forwards
+        with ConcurrentEstimatorService(dace.service, workers=1) as pool:
+            one = pool.predict_plans(plans)
+        dace.service.invalidate()
+        with ConcurrentEstimatorService(dace.service, workers=8) as pool:
+            eight = pool.predict_plans(plans)
+        np.testing.assert_array_equal(one, predictions)
+        np.testing.assert_array_equal(eight, predictions)
+        assert dace.metrics.counter("serve.fused.forwards").value > before
+
+
 def regenerate():
     _, _, predictions = _build()
     os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)

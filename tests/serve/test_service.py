@@ -217,7 +217,12 @@ class TestInCallDeduplication:
 
         model.infer = counting_infer
         try:
-            service = EstimatorService(model, encoder, batch_size=64)
+            # Instance-level patching is invisible to the fused kernel
+            # (it reads the weight arrays directly), so pin the per-layer
+            # path; dedup happens before _forward either way.
+            service = EstimatorService(
+                model, encoder, batch_size=64, fused=False
+            )
             repeated = [plans[0]] * 10 + [plans[1]] * 5
             values = service.predict_plans(repeated)
         finally:
