@@ -26,6 +26,7 @@ from repro.bench.extra import (
     ensemble_uncertainty,
 )
 from repro.bench.chaos import chaos_resilience
+from repro.bench.fleet import serve_fleet
 from repro.bench.serve import obs_overhead, serve_concurrency, \
     serve_fused, serve_throughput
 from repro.bench.train import train_throughput
@@ -75,6 +76,7 @@ __all__ = [
     "tab2_efficiency",
     "serve_throughput",
     "serve_concurrency",
+    "serve_fleet",
     "serve_fused",
     "obs_overhead",
     "chaos_resilience",

@@ -175,6 +175,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     repeats = max(args.repeat, 1)
     dace.service.reset_stats()
 
+    if args.shards:
+        return _serve_fleet(args, dace, plans, repeats)
+
     # Chaos replay: inject seeded faults under the resilience tier and
     # verify the serving path degrades instead of raising.
     resilient = None
@@ -266,6 +269,108 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             chaos = resilient.estimator
             print(f"chaos: fault_rate={args.chaos:.0%} "
                   f"injected={chaos.injected}")
+    if args.metrics:
+        report = _METRIC_EXPORTERS[args.metrics_format](dace.metrics)
+        with open(args.metrics, "w") as handle:
+            handle.write(report if report.endswith("\n") else report + "\n")
+        print(f"metrics ({args.metrics_format}) written to {args.metrics}")
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace, dace, plans, repeats: int) -> int:
+    """Replay a (optionally multi-tenant) workload through a FleetGateway."""
+    import math
+    import threading
+    import time
+
+    import numpy as np
+
+    from repro.serve import ChaosEstimator, FleetGateway, ModelRegistry
+
+    shard_wrapper = None
+    if args.chaos is not None:
+        def shard_wrapper(service):
+            return ChaosEstimator.with_fault_rate(
+                service, args.chaos, seed=args.chaos_seed
+            )
+    fleet = FleetGateway(
+        dace.model,
+        dace.encoder,
+        shards=args.shards,
+        workers=args.workers if args.workers else 1,
+        batch_size=args.max_batch,
+        metrics=dace.metrics,
+        fused=False if args.no_fused else None,
+        resilient=args.resilient or args.chaos is not None,
+        shard_wrapper=shard_wrapper,
+    )
+    # Synthetic tenants: seeded random LoRA deltas on the base adapters.
+    # Real deployments register ModelRegistry.adapter_state dumps; for a
+    # replay the deltas only need to be distinct per tenant.
+    tags = [ModelRegistry.BASE_TAG]
+    if args.tenants:
+        base = fleet.shards[0].registry.adapter_state(ModelRegistry.BASE_TAG)
+        rng = np.random.default_rng(args.chaos_seed)
+        for index in range(args.tenants):
+            tag = f"tenant{index}"
+            fleet.register_tenant(tag, {
+                name: array + rng.normal(0.0, 0.05, array.shape)
+                for name, array in base.items()
+            })
+            tags.append(tag)
+    tenant_of = [tags[i % len(tags)] for i in range(len(plans))]
+
+    clients = max(args.workers or 0, 2 * args.shards)
+    shed_total = 0
+
+    def _replay():
+        out = [0.0] * len(plans)
+
+        def client(offset):
+            for i in range(offset, len(plans), clients):
+                out[i] = fleet.predict_plan(plans[i], tenant=tenant_of[i])
+
+        threads = [
+            threading.Thread(target=client, args=(offset,))
+            for offset in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return out
+
+    start = time.perf_counter()
+    predictions = []
+    for _ in range(repeats):
+        predictions = _replay()
+    elapsed = time.perf_counter() - start
+    stats = fleet.stats()
+    fleet.close()
+
+    served = len(plans) * repeats
+    print(f"served {served} predictions over {len(plans)} plans "
+          f"(x{repeats}) in {elapsed * 1e3:.1f} ms "
+          f"({served / max(elapsed, 1e-9):.0f} plans/s)")
+    print(f"fleet: shards={args.shards} tenants={len(tags)} "
+          f"clients={clients} routed={stats['routed']:.0f} "
+          f"shed={stats['shed']:.0f} swaps={stats['swaps']:.0f}")
+    print(f"fleet cache: hits={stats['cache_hits']:.0f} "
+          f"misses={stats['cache_misses']:.0f} "
+          f"hit_rate={stats['cache_hit_rate']:.1%}")
+    shed_total = int(stats["shed"])
+    if predictions:
+        print(f"latency range: {min(predictions):.3f} .. "
+              f"{max(predictions):.3f} ms")
+        finite = sum(1 for value in predictions if math.isfinite(value))
+        if finite != len(predictions):
+            print(f"WARNING: {len(predictions) - finite} non-finite "
+                  f"predictions escaped the serving path")
+    if args.resilient or args.chaos is not None:
+        degraded = dace.metrics.counter("resilience.degraded").value
+        retries = dace.metrics.counter("resilience.retries").value
+        print(f"resilience: retries={retries} degraded={degraded} "
+              f"shed={shed_total}")
     if args.metrics:
         report = _METRIC_EXPORTERS[args.metrics_format](dace.metrics)
         with open(args.metrics, "w") as handle:
@@ -514,6 +619,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "batching (default: single-threaded replay)")
     serve.add_argument("--max-batch", type=int, default=64,
                        help="micro-batcher coalescing size")
+    serve.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="serve through a FleetGateway of N shards "
+                            "(consistent-hash routing, per-tenant LoRA, "
+                            "admission control); --workers then sets the "
+                            "per-shard pool size")
+    serve.add_argument("--tenants", type=int, default=0, metavar="K",
+                       help="with --shards: register K synthetic tenants "
+                            "(seeded random LoRA deltas) and spread the "
+                            "replayed plans across them round-robin")
     serve.add_argument("--repeat", type=int, default=2,
                        help="replay count (>1 exercises the cache)")
     serve.add_argument("--metrics", default=None,

@@ -26,6 +26,7 @@ from repro.featurize.encoder import PlanEncoder
 from repro.featurize.loss_weights import DEFAULT_ALPHA
 from repro.obs import MetricsRegistry
 from repro.serve.concurrent import ConcurrentEstimatorService
+from repro.serve.fleet import FleetGateway
 from repro.serve.resilience import CostFallback, ResilientEstimator
 from repro.serve.service import EstimatorService
 from repro.workloads.dataset import PlanDataset
@@ -50,6 +51,7 @@ class DACE:
         resilient: bool = False,
         workers: Optional[int] = None,
         fused: Optional[bool] = None,
+        shards: Optional[int] = None,
     ) -> None:
         # Defaults are constructed per instance: a def-time default would
         # be one shared (mutable) config across every DACE ever built.
@@ -78,16 +80,37 @@ class DACE:
         # batched forwards (byte-identical to the serial path thanks to
         # the service's deterministic padding buckets).
         self.workers = workers
+        self.shards = shards
+        # With shards=N, traffic instead goes through a FleetGateway:
+        # N shard stacks (model replica + registry + worker pool) behind
+        # consistent-hash routing with per-tenant LoRA resolution and
+        # admission control.  workers/resilient then apply *per shard*.
+        self.fleet = (
+            FleetGateway(
+                self.model,
+                self.encoder,
+                shards=shards,
+                workers=workers if workers is not None else 1,
+                batch_size=self.training.batch_size,
+                metrics=self.metrics,
+                fused=fused,
+                resilient=resilient,
+            )
+            if shards is not None else None
+        )
         self.pool = (
             ConcurrentEstimatorService(self.service, workers=workers)
-            if workers is not None else None
+            if workers is not None and shards is None else None
         )
         # With resilient=True every predict* call goes through the
         # degradation tiers (retry -> breaker -> optimizer-cost fallback)
         # instead of propagating serving-path exceptions to the caller.
         self._resilient = resilient
-        base = self.pool if self.pool is not None else self.service
-        self.estimator = self.resilient() if resilient else base
+        if self.fleet is not None:
+            self.estimator = self.fleet
+        else:
+            base = self.pool if self.pool is not None else self.service
+            self.estimator = self.resilient() if resilient else base
 
     # ------------------------------------------------------------------ #
     # Pre-training & inference
@@ -103,6 +126,8 @@ class DACE:
         self.model.disable_lora()
         self.trainer.fit(self._merge(datasets))
         self.service.invalidate()
+        if self.fleet is not None:
+            self.fleet.sync(self.model)
         return self
 
     def predict(self, dataset: PlanDataset) -> np.ndarray:
@@ -135,6 +160,36 @@ class DACE:
         return ResilientEstimator(base, **kwargs)
 
     # ------------------------------------------------------------------ #
+    # Multi-tenant fleet (shards=N)
+    # ------------------------------------------------------------------ #
+    def register_tenant(self, tag: str, adapter_state=None) -> "DACE":
+        """Install a tenant's LoRA adapter set on every fleet shard.
+
+        ``adapter_state`` maps adapter parameter names to arrays (the
+        shape :meth:`ModelRegistry.adapter_state` returns); ``None``
+        snapshots the adapters currently on ``self.model`` — the natural
+        call right after :meth:`fine_tune_lora` for that tenant's
+        workload.  Requires ``shards=N``.
+        """
+        if self.fleet is None:
+            raise RuntimeError("register_tenant requires DACE(shards=N)")
+        if adapter_state is None:
+            adapter_state = {
+                name: parameter.data.copy()
+                for name, parameter in self.model.named_parameters()
+                if ".lora_" in name
+            }
+        self.fleet.register_tenant(tag, adapter_state)
+        return self
+
+    def evict_tenant(self, tag: str) -> "DACE":
+        """Drop a tenant's adapters and cached predictions fleet-wide."""
+        if self.fleet is None:
+            raise RuntimeError("evict_tenant requires DACE(shards=N)")
+        self.fleet.evict_tenant(tag)
+        return self
+
+    # ------------------------------------------------------------------ #
     # LoRA fine-tuning (across-more, paper Sec. IV-D)
     # ------------------------------------------------------------------ #
     def fine_tune_lora(
@@ -159,6 +214,8 @@ class DACE:
             {**epoch, "phase": "fine_tune_lora"} for epoch in tuner.history
         )
         self.service.invalidate()
+        if self.fleet is not None:
+            self.fleet.sync(self.model)
         return self
 
     # ------------------------------------------------------------------ #
@@ -200,6 +257,7 @@ class DACE:
             "lora_enabled": self.model.lora_enabled,
             "resilient": self._resilient,
             "workers": self.workers,
+            "shards": self.shards,
         }
         with open(os.path.join(path, "meta.json"), "w") as handle:
             json.dump(meta, handle, indent=2)
@@ -225,6 +283,7 @@ class DACE:
             seed=meta["seed"],
             resilient=meta.get("resilient", False),
             workers=meta.get("workers"),
+            shards=meta.get("shards"),
         )
         with np.load(os.path.join(path, "weights.npz")) as archive:
             state = {name: archive[name] for name in archive.files}
@@ -238,6 +297,10 @@ class DACE:
             })
         if meta.get("lora_enabled"):
             dace.model.enable_lora()
+        if dace.fleet is not None:
+            # Shard replicas were copied from the freshly-initialized
+            # model in the constructor; re-seed them from the loaded one.
+            dace.fleet.sync(dace.model)
         return dace
 
     # ------------------------------------------------------------------ #

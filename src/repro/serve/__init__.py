@@ -27,7 +27,12 @@ Everything downstream of a trained model goes through this package:
   (errors, NaN outputs, latency spikes) for chaos testing and the
   ``serve --chaos`` replay mode;
 - :class:`~repro.serve.registry.ModelRegistry` — hot-swaps
-  LoRA-fine-tuned adapter sets keyed by deployment tag.
+  LoRA-fine-tuned adapter sets keyed by deployment tag;
+- :class:`~repro.serve.fleet.FleetGateway` — the sharded multi-tenant
+  front door: consistent-hash routing (cache affinity) across N shard
+  stacks, per-tenant LoRA resolution, bounded-queue admission control
+  with shed-to-:class:`~repro.serve.resilience.CostFallback`, and
+  ``fleet.*`` metrics.
 """
 
 from repro.serve.batching import MicroBatcher, PendingPrediction
@@ -40,6 +45,12 @@ from repro.serve.chaos import (
     InjectedFault,
 )
 from repro.serve.estimator import Estimator, as_plan_scorers, resolve_predictions
+from repro.serve.fleet import (
+    ConsistentHashRing,
+    FleetGateway,
+    FleetPrediction,
+    FleetShard,
+)
 from repro.serve.fused import FusedInferStep, maybe_fused_infer
 from repro.serve.registry import ModelRegistry
 from repro.serve.resilience import (
@@ -60,6 +71,10 @@ __all__ = [
     "maybe_fused_infer",
     "ConcurrentEstimatorService",
     "PoolPrediction",
+    "ConsistentHashRing",
+    "FleetGateway",
+    "FleetPrediction",
+    "FleetShard",
     "MicroBatcher",
     "PendingPrediction",
     "ModelRegistry",

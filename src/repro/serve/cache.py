@@ -161,6 +161,22 @@ class LRUCache:
         with self._mutex:
             self._entries.clear()
 
+    def drop_where(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns the
+        count dropped.
+
+        Scoped invalidation for composite-keyed caches — e.g. the fleet's
+        ``(tenant, fingerprint)`` prediction cache evicting one tenant's
+        entries on adapter re-registration without losing every other
+        tenant's warm set.  The predicate runs under the cache mutex and
+        must not call back into the cache.
+        """
+        with self._mutex:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_mutex"]  # process-local; recreated on restore

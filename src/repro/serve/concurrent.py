@@ -284,6 +284,27 @@ class ConcurrentEstimatorService:
         handle = PoolPrediction(plan, time.monotonic())
         if self._can_serve_caught:
             handle._caught = self._catch(plan)
+        return self._enqueue(handle)
+
+    def submit_caught(self, caught: CaughtPlan) -> PoolPrediction:
+        """Enqueue an already-caught plan (front-ends that snapshot early).
+
+        The fleet gateway catches at its own admission edge — routing and
+        cache lookups need the fingerprint before a shard is even chosen —
+        so the pool must accept the snapshot as-is rather than requiring
+        the original ``PlanNode``.  Only legal when the wrapped service
+        itself serves caught plans.
+        """
+        if not self._can_serve_caught:
+            raise TypeError(
+                "wrapped service does not define predict_caught; "
+                "submit the original PlanNode via submit()"
+            )
+        handle = PoolPrediction(None, time.monotonic())
+        handle._caught = caught
+        return self._enqueue(handle)
+
+    def _enqueue(self, handle: PoolPrediction) -> PoolPrediction:
         with self._lock:
             if self._closed:
                 raise RuntimeError("service is closed")
@@ -446,6 +467,13 @@ class ConcurrentEstimatorService:
     def predict_plans(self, plans: Sequence[PlanNode]) -> np.ndarray:
         """Predicted latency (ms) per plan, routed through the queue."""
         handles = [self.submit(plan) for plan in plans]
+        return np.array([handle.result() for handle in handles])
+
+    def predict_caught(self, caught: Sequence[CaughtPlan]) -> np.ndarray:
+        """``predict_plans`` for pre-caught plans, routed through the
+        queue.  Defined on the class (not delegated) so MRO probes see
+        the pool genuinely supports the caught path."""
+        handles = [self.submit_caught(plan) for plan in caught]
         return np.array([handle.result() for handle in handles])
 
     def predict(self, dataset) -> np.ndarray:

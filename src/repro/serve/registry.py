@@ -81,6 +81,30 @@ class ModelRegistry:
             for name, array in adapter_state.items()
         }
         self._lora_enabled[tag] = True
+        if tag == self.active_tag:
+            # Re-registration replaced the live adapter set: load the new
+            # arrays now, or the model keeps serving the stale weights
+            # (callers that skip redundant activations would never swap).
+            self.activate(tag)
+
+    def remove(self, tag: str) -> None:
+        """Forget a stored adapter set (tenant eviction).
+
+        The base snapshot can never be removed, and neither can the
+        active tag — activate another tag first, so the model is never
+        left running adapters the registry no longer knows about.
+        """
+        if tag == self.BASE_TAG:
+            raise ValueError(f"{self.BASE_TAG!r} is reserved for the base")
+        if tag not in self._adapters:
+            raise KeyError(f"unknown tag {tag!r}; have {self.tags()}")
+        if tag == self.active_tag:
+            raise ValueError(
+                f"cannot remove the active tag {tag!r}; "
+                "activate another tag first"
+            )
+        del self._adapters[tag]
+        del self._lora_enabled[tag]
 
     # ------------------------------------------------------------------ #
     def fine_tune(self, tag: str, datasets, epochs=None, lr=None):
@@ -115,6 +139,12 @@ class ModelRegistry:
             self.estimator.model.disable_lora()
         service = getattr(self.estimator, "service", None)
         if service is not None:
-            service.invalidate()
+            # An adapter swap moves weights only — encodings depend on
+            # the encoder alone, so keep that memo when the service
+            # distinguishes the two invalidation scopes.
+            invalidate = getattr(
+                service, "invalidate_predictions", service.invalidate
+            )
+            invalidate()
         self.active_tag = tag
         return self.estimator

@@ -165,6 +165,18 @@ class EstimatorService:
         self._cache.clear()
         self._encodings.clear()
 
+    def invalidate_predictions(self) -> None:
+        """Drop cached predictions but keep the encoding memo.
+
+        The right call after a *weight-only* change — a LoRA adapter
+        hot-swap: ``encode_plan`` arrays are a function of the encoder
+        (and its fitted scaler) alone, so they stay valid across adapter
+        swaps, and a fleet shard cycling through tenants re-encodes
+        nothing.  Any change that touches the encoder or scaler still
+        requires the full :meth:`invalidate`.
+        """
+        self._cache.clear()
+
     def reset_stats(self) -> None:
         """Zero every metric on the registry (cache counters included)."""
         self.metrics.reset()

@@ -160,6 +160,55 @@ class TestGoldenFused:
         assert dace.metrics.counter("serve.fused.forwards").value > before
 
 
+class TestGoldenFleet:
+    """The sharded fleet is anchored to the same golden file.
+
+    Routing, per-shard caching, wave batching, and tenant grouping are
+    all allowed to vary with shard count — the bits are not: any fleet
+    must reproduce the serial golden predictions exactly for the base
+    tenant, cold and warm.
+    """
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_fleet_matches_golden(self, golden_setup, shards):
+        from repro.serve import FleetGateway
+
+        dace, plans, predictions = golden_setup
+        golden = np.load(GOLDEN_PATH)["predictions"]
+        with FleetGateway(
+            dace.model, dace.encoder, shards=shards,
+            metrics=MetricsRegistry(),
+        ) as fleet:
+            cold = fleet.predict_plans(plans)
+            warm = fleet.predict_plans(plans)  # served from fleet cache
+        np.testing.assert_array_equal(cold, predictions)
+        np.testing.assert_array_equal(warm, predictions)
+        np.testing.assert_allclose(cold, golden, rtol=1e-7)
+
+    def test_fleet_with_tenant_adapters_golden_for_base(self, golden_setup):
+        """Registered tenants must not perturb the base tenant's bits."""
+        import numpy.random as npr
+
+        from repro.serve import FleetGateway, ModelRegistry
+
+        dace, plans, predictions = golden_setup
+        with FleetGateway(
+            dace.model, dace.encoder, shards=2, metrics=MetricsRegistry()
+        ) as fleet:
+            base = fleet.shards[0].registry.adapter_state(
+                ModelRegistry.BASE_TAG
+            )
+            rng = npr.default_rng(9)
+            fleet.register_tenant("other", {
+                name: array + rng.normal(0.0, 0.05, array.shape)
+                for name, array in base.items()
+            })
+            fleet.predict_plans(plans[:5], tenant="other")
+            np.testing.assert_array_equal(
+                fleet.predict_plans(plans), predictions
+            )
+
+
 def regenerate():
     _, _, predictions = _build()
     os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)

@@ -79,3 +79,56 @@ class TestRegistry:
         np.testing.assert_array_equal(
             fitted.predict(train_datasets[1]), tuned
         )
+
+    def test_reregister_active_tag_swaps_live_weights(self, registry,
+                                                      fitted):
+        """Replacing the *active* tag's adapters must take effect
+        immediately — the model may not keep serving the old set."""
+        base = registry.adapter_state(ModelRegistry.BASE_TAG)
+        rng = np.random.default_rng(3)
+        noisy = {name: array + rng.normal(0.0, 0.05, array.shape)
+                 for name, array in base.items()}
+        registry.register("v", noisy)
+        registry.activate("v")
+        for name, parameter in fitted.model.named_parameters():
+            if name in noisy:
+                np.testing.assert_array_equal(parameter.data, noisy[name])
+        noisier = {name: array + rng.normal(0.0, 0.05, array.shape)
+                   for name, array in base.items()}
+        registry.register("v", noisier)
+        assert registry.active_tag == "v"
+        for name, parameter in fitted.model.named_parameters():
+            if name in noisier:
+                np.testing.assert_array_equal(
+                    parameter.data, noisier[name]
+                )
+
+
+class TestRegistryRemove:
+    def test_remove_forgets_tag(self, registry, fitted, train_datasets):
+        registry.fine_tune("gone", train_datasets[1], epochs=1)
+        registry.activate(ModelRegistry.BASE_TAG)
+        registry.remove("gone")
+        assert "gone" not in registry
+        with pytest.raises(KeyError):
+            registry.activate("gone")
+        with pytest.raises(KeyError):
+            registry.adapter_state("gone")
+
+    def test_remove_base_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.remove(ModelRegistry.BASE_TAG)
+
+    def test_remove_active_tag_rejected(self, registry, train_datasets):
+        registry.fine_tune("live", train_datasets[1], epochs=1)
+        assert registry.active_tag == "live"
+        with pytest.raises(ValueError):
+            registry.remove("live")
+        # Deactivate first, then removal goes through.
+        registry.activate(ModelRegistry.BASE_TAG)
+        registry.remove("live")
+        assert "live" not in registry
+
+    def test_remove_unknown_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.remove("never-registered")

@@ -125,6 +125,42 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["bench", "nonexistent"])
 
+    def test_serve_fleet_shards(self, tmp_path, capsys):
+        workload = str(tmp_path / "airline.jsonl")
+        model_dir = str(tmp_path / "model")
+        metrics_path = str(tmp_path / "fleet_metrics.jsonl")
+        main(["collect", "--db", "airline", "--count", "30",
+              "--out", workload])
+        main(["train", "--workload", workload, "--out", model_dir,
+              "--epochs", "3"])
+
+        # Multi-tenant sharded replay: routed + cache accounting printed,
+        # every prediction finite, fleet metrics exported.
+        assert main([
+            "serve", "--model", model_dir, "--workload", workload,
+            "--shards", "2", "--tenants", "3", "--repeat", "2",
+            "--metrics", metrics_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: shards=2 tenants=4" in out
+        assert "fleet cache:" in out
+        assert "WARNING" not in out
+        dump = open(metrics_path).read()
+        for name in ("fleet.requests", "fleet.routed", "fleet.shed",
+                     "fleet.swaps", "fleet.cache.hits",
+                     "fleet.wait_seconds"):
+            assert name in dump
+
+        # Sharded + chaos routes through the resilience tiers.
+        assert main([
+            "serve", "--model", model_dir, "--workload", workload,
+            "--shards", "2", "--chaos", "1.0", "--chaos-seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: shards=2" in out
+        assert "resilience:" in out
+        assert "WARNING" not in out
+
     def test_serve_chaos_and_resilient(self, tmp_path, capsys):
         workload = str(tmp_path / "airline.jsonl")
         model_dir = str(tmp_path / "model")
