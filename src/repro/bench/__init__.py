@@ -27,6 +27,7 @@ from repro.bench.extra import (
 )
 from repro.bench.chaos import chaos_resilience
 from repro.bench.fleet import serve_fleet
+from repro.bench.matrix import exp_matrix
 from repro.bench.serve import obs_overhead, serve_concurrency, \
     serve_fused, serve_throughput
 from repro.bench.train import train_throughput
@@ -80,5 +81,6 @@ __all__ = [
     "serve_fused",
     "obs_overhead",
     "chaos_resilience",
+    "exp_matrix",
     "train_throughput",
 ]

@@ -12,6 +12,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.bench.config import BenchScale
 from repro.baselines.zeroshot import ZeroShotModel
 from repro.core import DACE, TrainingConfig
+from repro.engine.machines import MachineProfile, other_machine, \
+    resolve_machine
 from repro.workloads import (
     PlanDataset,
     Workload3,
@@ -32,8 +34,25 @@ def clear_caches() -> None:
         cache.clear()
 
 
+def metric_registries() -> List:
+    """Obs registries of every cached model.
+
+    ``encodecache.*`` traffic from the fig/tab runners lands on the
+    per-model registries of the DACE instances this module caches; the
+    experiment runner sweeps them (before/after deltas) so both fan-out
+    backends can report cache traffic truthfully.
+    """
+    return [dace.metrics for dace in _DACE.values()]
+
+
+def primary_machine(scale: BenchScale) -> MachineProfile:
+    """The scale's label-collection machine (the ``machine`` axis)."""
+    return resolve_machine(getattr(scale, "machine", "M1"))
+
+
 def _w1_key(scale: BenchScale) -> Tuple:
-    return (scale.databases, scale.queries_per_db, scale.seed)
+    return (scale.databases, scale.queries_per_db, scale.seed,
+            primary_machine(scale).name)
 
 
 def get_workload1(scale: BenchScale) -> Dict[str, PlanDataset]:
@@ -43,6 +62,7 @@ def get_workload1(scale: BenchScale) -> Dict[str, PlanDataset]:
             queries_per_db=scale.queries_per_db,
             database_names=list(scale.databases),
             seed=scale.seed,
+            machine=primary_machine(scale),
         )
     return _WORKLOAD1[key]
 
@@ -54,13 +74,14 @@ def get_workload2(scale: BenchScale) -> Dict[str, PlanDataset]:
             queries_per_db=scale.queries_per_db,
             database_names=list(scale.databases),
             seed=scale.seed,
+            machine=other_machine(primary_machine(scale)),
         )
     return _WORKLOAD2[key]
 
 
 def get_workload3(scale: BenchScale) -> Workload3:
     key = (scale.w3_train, scale.w3_synthetic, scale.w3_scale,
-           scale.w3_job_light, scale.seed)
+           scale.w3_job_light, scale.seed, primary_machine(scale).name)
     if key not in _WORKLOAD3:
         _WORKLOAD3[key] = build_workload3(
             train_queries=scale.w3_train,
@@ -68,6 +89,7 @@ def get_workload3(scale: BenchScale) -> Workload3:
             scale_queries=scale.w3_scale,
             job_light_queries=scale.w3_job_light,
             seed=scale.seed,
+            machine=primary_machine(scale),
         )
     return _WORKLOAD3[key]
 

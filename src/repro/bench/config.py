@@ -40,6 +40,11 @@ class BenchScale:
     # Fig 9 sweep
     cold_start_counts: Tuple[int, ...]
     seed: int = 0
+    # Primary label-collection machine ("M1" or "M2").  Workloads 1 and 3
+    # are collected on this profile; workload 2 (across-more) always uses
+    # the *other* machine, so sweeping ``machine`` as a matrix axis flips
+    # the paper's hardware pairing end to end.
+    machine: str = "M1"
 
 
 SMOKE = BenchScale(

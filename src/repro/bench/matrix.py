@@ -1,0 +1,149 @@
+"""Experiment-matrix throughput: process fan-out vs serial execution.
+
+The contract pinned here: on a cache-unfriendly mini-matrix (chaos
+replays under distinct seeds, so neither the in-process model caches nor
+the on-disk encoding cache can share work between cells) the spawn-based
+process backend at 4 workers beats a serial run by wall clock while the
+stored cell files stay byte-identical (modulo the two timing fields,
+``wall_seconds`` and ``created_unix``, which record *when/how long*, not
+*what*).
+
+``benchmarks/bench_exp_matrix.py`` runs this in CI; the ≥2x speedup
+gate only arms on machines with at least 4 CPUs (a single-core box
+cannot demonstrate parallelism — it still checks identity).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.cache import clear_caches
+from repro.bench.config import DEFAULT, BenchScale
+from repro.experiments.registry import cell
+from repro.metrics.tables import format_table
+
+#: Fields of a stored cell file that legitimately differ between two
+#: runs of the same config: they record when and how long, not what.
+TIMING_FIELDS = ("wall_seconds", "created_unix")
+
+
+def _normalized_cells(cells_dir: str) -> Dict[str, str]:
+    """config-id → canonical JSON with the timing fields stripped."""
+    out: Dict[str, str] = {}
+    if not os.path.isdir(cells_dir):
+        return out
+    for name in sorted(os.listdir(cells_dir)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(cells_dir, name)) as handle:
+            payload = json.load(handle)
+        for field in TIMING_FIELDS:
+            payload.pop(field, None)
+        out[payload["config_id"]] = json.dumps(payload, sort_keys=True)
+    return out
+
+
+def _run_backend(
+    spec, backend: str, workers: int, root: str
+) -> Tuple[float, object]:
+    """One full matrix run in a private results+cache sandbox."""
+    from repro.experiments import ResultsStore, Runner
+    from repro.workloads.encoded import CACHE_DIR_ENV
+
+    saved = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = os.path.join(root, "cache")
+    # Spawn children start cold; level the field for in-process runs.
+    clear_caches()
+    try:
+        store = ResultsStore(root=os.path.join(root, "results"),
+                             scale=spec.scale_name)
+        runner = Runner(store, workers=workers, backend=backend)
+        started = time.perf_counter()
+        summary = runner.run(spec)
+        wall = time.perf_counter() - started
+        return wall, summary
+    finally:
+        if saved is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = saved
+
+
+@cell("exp_matrix")
+def exp_matrix(
+    scale: BenchScale = DEFAULT,
+    n_cells: int = 4,
+    workers: int = 4,
+    n_plans: int = 120,
+    fault_rate: float = 0.15,
+    seed_base: int = 1000,
+) -> dict:
+    """Process-pool vs serial run of a cache-unfriendly chaos matrix.
+
+    Each of the ``n_cells`` cells pins a distinct ``seed`` (a
+    ``BenchScale`` field), so every cell regenerates workloads and
+    retrains from scratch — the worst case for the thread backend's
+    shared caches and the honest case for measuring process fan-out.
+    """
+    from repro.experiments import ExperimentSpec
+
+    spec = ExperimentSpec(
+        "chaos",
+        scale=scale,
+        axes={"seed": [seed_base + i for i in range(n_cells)]},
+        base={"n_plans": n_plans, "fault_rate": fault_rate},
+    )
+
+    with tempfile.TemporaryDirectory(prefix="exp-matrix-bench-") as root:
+        process_wall, process_summary = _run_backend(
+            spec, "process", workers, os.path.join(root, "process")
+        )
+        serial_wall, serial_summary = _run_backend(
+            spec, "thread", 1, os.path.join(root, "serial")
+        )
+        process_cells = _normalized_cells(os.path.join(
+            root, "process", "results", spec.scale_name, "cells"
+        ))
+        serial_cells = _normalized_cells(os.path.join(
+            root, "serial", "results", spec.scale_name, "cells"
+        ))
+
+    identical = (
+        bool(process_cells)
+        and set(process_cells) == set(serial_cells)
+        and all(process_cells[k] == serial_cells[k] for k in process_cells)
+    )
+    speedup = serial_wall / process_wall if process_wall > 0 else 0.0
+
+    rows: List[List] = [
+        ["serial (workers=1)", f"{serial_wall:.2f}",
+         len(serial_summary.ran), len(serial_summary.failed)],
+        [f"process (workers={workers})", f"{process_wall:.2f}",
+         len(process_summary.ran), len(process_summary.failed)],
+    ]
+    table = format_table(
+        ["backend", "wall_s", "ran", "failed"],
+        rows,
+        title=(
+            f"exp matrix fan-out ({scale.name} scale, {n_cells} cells): "
+            f"{speedup:.2f}x, byte-identical: "
+            f"{'yes' if identical else 'NO'}"
+        ),
+    )
+    return {
+        "table": table,
+        "n_cells": n_cells,
+        "workers": workers,
+        "n_plans": n_plans,
+        "serial_seconds": serial_wall,
+        "process_seconds": process_wall,
+        "speedup": speedup,
+        "identical": identical,
+        "serial_failed": len(serial_summary.failed),
+        "process_failed": len(process_summary.failed),
+        "cpu_count": os.cpu_count() or 1,
+    }

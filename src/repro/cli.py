@@ -24,7 +24,7 @@ from typing import List, Optional
 from repro.catalog.zoo import ZOO_DATABASE_NAMES, build_schema, load_database
 from repro.core.estimator import DACE
 from repro.core.trainer import TrainingConfig
-from repro.engine.machines import M1, M2
+from repro.engine.machines import MACHINES
 from repro.engine.plan import explain as explain_plan
 from repro.engine.session import EngineSession
 from repro.metrics.qerror import qerror_summary
@@ -35,7 +35,7 @@ from repro.sql.text import parse_query
 from repro.workloads.dataset import PlanDataset, collect_workload
 from repro.workloads.serialize import load_dataset, save_dataset
 
-_MACHINES = {"M1": M1, "M2": M2}
+_MACHINES = MACHINES
 
 
 def _cmd_zoo(args: argparse.Namespace) -> int:
@@ -483,8 +483,11 @@ def _cmd_exp_run(args: argparse.Namespace) -> int:
             line += f"  ({wall:.2f}s)"
         print(line)
 
-    runner = Runner(store, workers=args.workers, on_cell=on_cell)
     try:
+        runner = Runner(
+            store, workers=args.workers, backend=args.backend,
+            timeout_s=args.timeout, on_cell=on_cell,
+        )
         spec = ExperimentSpec(
             args.experiments, scale=args.scale, axes=_parse_axes(args.axis)
         )
@@ -532,6 +535,22 @@ def _cmd_exp_report(args: argparse.Namespace) -> int:
         return 1
     print("\n\n".join(cell.table for cell in cells))
     return 0
+
+
+def _cmd_exp_diff(args: argparse.Namespace) -> int:
+    from repro.experiments import CellDiffError, diff_cells, find_cell, \
+        format_cell_diff
+
+    directory = _results_dir(args)
+    try:
+        cell_a = find_cell(directory, args.id_a, scale=args.scale)
+        cell_b = find_cell(directory, args.id_b, scale=args.scale)
+        diff = diff_cells(cell_a, cell_b)
+    except CellDiffError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_cell_diff(diff))
+    return 0 if diff.identical else 1
 
 
 def _cmd_exp_clean(args: argparse.Namespace) -> int:
@@ -671,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs.set_defaults(func=_cmd_obs)
 
     from repro.bench.config import SCALES
+    from repro.experiments.runner import BACKENDS
 
     bench = sub.add_parser(
         "bench", help="run one of the paper's experiments"
@@ -699,7 +719,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "cell-function keyword (repeatable; 'a:b' "
                               "parses as a tuple value)")
     exp_run.add_argument("--workers", type=int, default=1,
-                         help="thread-pool width for cell fan-out")
+                         help="pool width for cell fan-out")
+    exp_run.add_argument("--backend", choices=BACKENDS, default="thread",
+                         help="'thread' shares in-process caches; "
+                              "'process' spawn-isolates each cell for "
+                              "true parallelism and crash containment")
+    exp_run.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-cell wall-clock limit (process backend "
+                              "only); an overrunning child is killed and "
+                              "only that cell fails")
     exp_run.add_argument("--results-dir", default=None,
                          help="results root (default: $REPRO_RESULTS_DIR "
                               f"or {_DEFAULT_RESULTS_DIR})")
@@ -724,6 +753,20 @@ def build_parser() -> argparse.ArgumentParser:
     exp_report.add_argument("--scale", default=None)
     exp_report.add_argument("--results-dir", default=None)
     exp_report.set_defaults(func=_cmd_exp_report)
+
+    exp_diff = exp_sub.add_parser(
+        "diff", help="compare two stored cells metric by metric"
+    )
+    exp_diff.add_argument("id_a", metavar="ID-A",
+                          help="config id (or unique prefix) of the "
+                               "baseline cell")
+    exp_diff.add_argument("id_b", metavar="ID-B",
+                          help="config id (or unique prefix) of the "
+                               "cell to compare")
+    exp_diff.add_argument("--scale", default=None,
+                          help="only search this scale's cells")
+    exp_diff.add_argument("--results-dir", default=None)
+    exp_diff.set_defaults(func=_cmd_exp_diff)
 
     exp_clean = exp_sub.add_parser(
         "clean", help="delete stored cells at one scale"

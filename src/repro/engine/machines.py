@@ -73,3 +73,32 @@ M2 = MachineProfile(
     startup_ms=0.55,
     noise_sigma=0.05,
 )
+
+
+#: The one name→profile mapping; the CLI, the bench cache, and the
+#: experiment matrix's ``machine`` axis all resolve through here.
+MACHINES = {"M1": M1, "M2": M2}
+
+
+def resolve_machine(name) -> MachineProfile:
+    """Resolve a machine name (case-insensitive) to its profile.
+
+    Accepts a :class:`MachineProfile` unchanged, so callers can thread
+    either representation.  Raises ``ValueError`` naming the valid
+    machines on a miss.
+    """
+    if isinstance(name, MachineProfile):
+        return name
+    key = str(name).strip().upper()
+    try:
+        return MACHINES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r}; valid machines: "
+            f"{', '.join(sorted(MACHINES))}"
+        ) from None
+
+
+def other_machine(machine) -> MachineProfile:
+    """The *other* physical machine (the paper's across-more pairing)."""
+    return M2 if resolve_machine(machine) is M1 else M1

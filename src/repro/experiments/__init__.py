@@ -13,15 +13,20 @@ makes that matrix explicit:
 - :func:`~repro.experiments.registry.cell` — the decorator that turns a
   ``repro.bench`` figure runner into a registered cell function;
 - :class:`~repro.experiments.runner.Runner` — fans cells out over a
-  thread pool, skips cells whose valid result already exists on disk
-  under the config hash, and records ``experiments.*`` obs metrics;
+  thread pool or a spawn-isolated process pool (``backend="process"``:
+  per-cell timeouts, crash containment, byte-identical results), skips
+  cells whose valid result already exists on disk under the config
+  hash, and records ``experiments.*`` obs metrics;
+- :func:`~repro.experiments.diff.diff_cells` /
+  :func:`~repro.experiments.diff.find_cell` — keyed metric/config/table
+  comparison of two stored cells (``repro exp diff``);
 - :class:`~repro.experiments.store.ResultsStore` — one JSON file per
   cell under ``benchmarks/results/<scale>/cells/<config-id>.json``, plus
   :func:`~repro.experiments.store.load_results_from_dir` and
   :func:`~repro.experiments.store.format_metrics_report` to regenerate
   paper tables from stored cells without recomputing.
 
-CLI surface: ``repro exp run|ls|report|clean`` (see ``repro.cli``).
+CLI surface: ``repro exp run|ls|report|diff|clean`` (see ``repro.cli``).
 """
 
 from repro.experiments.config import (
@@ -51,7 +56,15 @@ from repro.experiments.store import (
     load_results_from_dir,
     write_json_atomic,
 )
-from repro.experiments.runner import Runner
+from repro.experiments.diff import (
+    CellDiff,
+    CellDiffError,
+    diff_cells,
+    find_cell,
+    flatten_numeric,
+    format_cell_diff,
+)
+from repro.experiments.runner import BACKENDS, Runner
 
 __all__ = [
     "ExperimentConfig",
@@ -77,5 +90,12 @@ __all__ = [
     "jsonable",
     "load_results_from_dir",
     "write_json_atomic",
+    "CellDiff",
+    "CellDiffError",
+    "diff_cells",
+    "find_cell",
+    "flatten_numeric",
+    "format_cell_diff",
+    "BACKENDS",
     "Runner",
 ]

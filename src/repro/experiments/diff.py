@@ -1,0 +1,224 @@
+"""Keyed comparison of two stored experiment cells.
+
+``repro exp diff <id-a> <id-b>`` answers "what changed between these two
+runs?" without re-running anything: the config axes that differ, every
+numeric metric (flattened from the nested results payload to dotted
+keys) side by side with absolute and relative deltas, and a unified diff
+of the rendered paper tables when the numbers alone don't explain it.
+
+Cells are looked up by config-id *prefix* under a results root, so the
+CLI accepts the short hashes ``repro exp ls`` prints.  All lookup and
+compatibility problems raise :class:`CellDiffError` with an actionable
+message — an ambiguous prefix lists the candidates, a corrupt file says
+why it was rejected, and comparing cells of different experiments names
+both.
+"""
+
+from __future__ import annotations
+
+import difflib
+import glob
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.store import CellCorruptError, CellResult, \
+    _load_cell_file
+from repro.metrics.tables import format_table
+
+
+class CellDiffError(ValueError):
+    """A cell lookup or comparison cannot proceed (message says why)."""
+
+
+def find_cell(
+    root: str, config_id: str, scale: Optional[str] = None
+) -> CellResult:
+    """Load the unique stored cell whose id starts with ``config_id``.
+
+    Searches ``<root>/**/cells/*.json`` (or one scale's cells when
+    ``scale`` is given).  Raises :class:`CellDiffError` when nothing
+    matches, when the prefix is ambiguous, or when the matched file is
+    corrupt.
+    """
+    prefix = str(config_id).strip().lower()
+    if not prefix:
+        raise CellDiffError("empty cell id")
+    if scale:
+        pattern = os.path.join(root, scale, "cells", f"{prefix}*.json")
+        paths = sorted(glob.glob(pattern))
+    else:
+        paths = sorted(glob.glob(
+            os.path.join(root, "**", "cells", f"{prefix}*.json"),
+            recursive=True,
+        ))
+        # A bare cells/ directory passed as the root itself.
+        paths += sorted(glob.glob(os.path.join(root, f"{prefix}*.json")))
+    unique = sorted({os.path.realpath(path) for path in paths})
+    if not unique:
+        where = os.path.join(root, scale) if scale else root
+        raise CellDiffError(
+            f"no stored cell matches id {config_id!r} under {where}; "
+            f"run 'repro exp ls' to list stored cells"
+        )
+    if len(unique) > 1:
+        names = ", ".join(
+            os.path.splitext(os.path.basename(path))[0] for path in unique
+        )
+        raise CellDiffError(
+            f"cell id {config_id!r} is ambiguous: matches {names}; "
+            f"use more characters of the id"
+        )
+    try:
+        return _load_cell_file(unique[0])
+    except CellCorruptError as exc:
+        raise CellDiffError(
+            f"cell file {unique[0]} is corrupt ({exc}); re-run the "
+            f"matrix (the runner re-computes corrupt cells) or delete "
+            f"the file"
+        )
+    except FileNotFoundError:
+        raise CellDiffError(f"cell file {unique[0]} vanished mid-diff")
+
+
+def flatten_numeric(value: Any, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested results payload under dotted keys.
+
+    ``{"qerror": {"median": 1.2, "p95": [3, 4]}}`` flattens to
+    ``{"qerror.median": 1.2, "qerror.p95[0]": 3, "qerror.p95[1]": 4}``.
+    Booleans are *not* numbers here, and non-numeric leaves are skipped —
+    the diff compares metrics, not prose.
+    """
+    flat: Dict[str, float] = {}
+    if isinstance(value, bool):
+        return flat
+    if isinstance(value, (int, float)):
+        flat[prefix or "value"] = float(value)
+        return flat
+    if isinstance(value, dict):
+        for key in sorted(value, key=str):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_numeric(value[key], path))
+        return flat
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            flat.update(flatten_numeric(item, f"{prefix}[{index}]"))
+        return flat
+    return flat
+
+
+@dataclass
+class CellDiff:
+    """Everything that differs (and matches) between two stored cells."""
+
+    id_a: str
+    id_b: str
+    experiment: str
+    #: Config keys whose values differ: ``{key: (value_a, value_b)}``.
+    config_changes: Dict[str, Tuple[Any, Any]] = field(default_factory=dict)
+    #: Shared numeric metrics: ``[(key, a, b)]`` — including equal ones.
+    metrics: List[Tuple[str, float, float]] = field(default_factory=list)
+    #: Metric keys present in only one cell.
+    only_a: List[str] = field(default_factory=list)
+    only_b: List[str] = field(default_factory=list)
+    #: Unified diff of the rendered tables ([] when byte-identical).
+    table_diff: List[str] = field(default_factory=list)
+
+    @property
+    def changed_metrics(self) -> List[Tuple[str, float, float]]:
+        return [row for row in self.metrics if row[1] != row[2]]
+
+    @property
+    def identical(self) -> bool:
+        """Same rendered table and same metric values (config may differ)."""
+        return (not self.changed_metrics and not self.only_a
+                and not self.only_b and not self.table_diff)
+
+
+def diff_cells(cell_a: CellResult, cell_b: CellResult) -> CellDiff:
+    """Compare two stored cells; raise :class:`CellDiffError` on mismatch.
+
+    Cells of different experiments measure different things — their
+    metrics are not comparable, so the diff refuses rather than printing
+    a wall of one-sided keys.
+    """
+    if cell_a.experiment != cell_b.experiment:
+        raise CellDiffError(
+            f"cannot diff cells of different experiments: "
+            f"{cell_a.config_id} is {cell_a.experiment!r} but "
+            f"{cell_b.config_id} is {cell_b.experiment!r}"
+        )
+    diff = CellDiff(
+        id_a=cell_a.config_id, id_b=cell_b.config_id,
+        experiment=cell_a.experiment,
+    )
+    for key in sorted(set(cell_a.config) | set(cell_b.config), key=str):
+        value_a = cell_a.config.get(key)
+        value_b = cell_b.config.get(key)
+        if value_a != value_b:
+            diff.config_changes[key] = (value_a, value_b)
+    flat_a = flatten_numeric(cell_a.results)
+    flat_b = flatten_numeric(cell_b.results)
+    diff.only_a = sorted(set(flat_a) - set(flat_b))
+    diff.only_b = sorted(set(flat_b) - set(flat_a))
+    diff.metrics = [
+        (key, flat_a[key], flat_b[key])
+        for key in sorted(set(flat_a) & set(flat_b))
+    ]
+    if cell_a.table != cell_b.table:
+        diff.table_diff = list(difflib.unified_diff(
+            cell_a.table.splitlines(), cell_b.table.splitlines(),
+            fromfile=cell_a.config_id, tofile=cell_b.config_id, lineterm="",
+        ))
+    return diff
+
+
+def format_cell_diff(diff: CellDiff, max_table_lines: int = 40) -> str:
+    """Human-readable report; stable ordering for byte-level CI checks."""
+    lines = [
+        f"diff {diff.experiment}: {diff.id_a} -> {diff.id_b}"
+    ]
+    if diff.config_changes:
+        rows = [
+            [key, repr(a), repr(b)]
+            for key, (a, b) in sorted(diff.config_changes.items())
+        ]
+        lines.append(format_table(
+            ["axis", diff.id_a, diff.id_b], rows, title="config changes"
+        ))
+    else:
+        lines.append("configs identical")
+    changed = diff.changed_metrics
+    if changed:
+        rows = []
+        for key, a, b in changed:
+            delta = b - a
+            rel = f"{delta / a * 100.0:+.2f}%" if a else "n/a"
+            rows.append([key, a, b, delta, rel])
+        lines.append(format_table(
+            ["metric", diff.id_a, diff.id_b, "delta", "rel"],
+            rows, title=f"{len(changed)} metric(s) changed"
+        ))
+    equal_count = len(diff.metrics) - len(changed)
+    lines.append(f"{equal_count} shared metric(s) equal")
+    if diff.only_a:
+        lines.append(
+            f"only in {diff.id_a}: {', '.join(diff.only_a)}"
+        )
+    if diff.only_b:
+        lines.append(
+            f"only in {diff.id_b}: {', '.join(diff.only_b)}"
+        )
+    if diff.table_diff:
+        shown = diff.table_diff[:max_table_lines]
+        lines.append("table diff:")
+        lines.extend(shown)
+        if len(diff.table_diff) > len(shown):
+            lines.append(
+                f"... ({len(diff.table_diff) - len(shown)} more lines)"
+            )
+    else:
+        lines.append("tables identical")
+    if diff.identical:
+        lines.append("cells are identical")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Child-process side of the :class:`~repro.experiments.runner.Runner`
+process backend.
+
+A spawned child receives one planned cell as plain picklable data —
+``(experiment name, BenchScale, kwargs, (module, qualname))`` — never a
+closure.  :func:`run_cell` re-resolves the cell function inside the
+child (``ensure_builtin_cells()`` first, then an import of the shipped
+reference for cells registered outside ``repro.bench``), executes it,
+and returns a picklable record: the rendered table, the JSON-sanitized
+results, the child-side wall time, and the delta of every interesting
+obs counter so the parent can merge child traffic into its registry.
+
+Everything in this module must be importable under the ``spawn`` start
+method — no state is inherited from the parent beyond ``sys.path`` and
+the environment (``REPRO_CACHE_DIR``/``REPRO_RESULTS_DIR`` therefore
+propagate to children automatically).
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.experiments.store import jsonable
+
+#: Counter namespaces harvested from the child and merged into the
+#: parent registry.  ``encodecache.*`` traffic lands on the per-model
+#: registries of the models the bench cells pre-train; without the
+#: harvest a process run would report zero cache activity while the
+#: thread backend reports real numbers.
+CHILD_COUNTER_PREFIXES: Tuple[str, ...] = ("encodecache.", "experiments.")
+
+FnRef = Optional[Tuple[str, str]]
+
+
+def fn_reference(fn: Any) -> FnRef:
+    """A ``(module, qualname)`` import path for ``fn``, if it has one.
+
+    Local closures and lambdas (``<locals>`` in the qualname) cannot be
+    re-imported by a spawned child; for those the child can only fall
+    back to the registry populated by ``ensure_builtin_cells()``.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname:
+        return None
+    return (module, qualname)
+
+
+def resolve_cell(experiment: str, fn_ref: FnRef):
+    """Re-resolve the cell function inside a spawned child.
+
+    The import reference wins when it resolves: a cell registered in the
+    parent under a name that shadows a built-in must shadow it in the
+    child too.  The registry (after ``ensure_builtin_cells()``) is the
+    fallback for decorated built-ins whose module moved.
+    """
+    from repro.experiments.registry import ensure_builtin_cells, \
+        register_cell
+
+    ensure_builtin_cells()
+    if fn_ref is not None:
+        module_name, qualname = fn_ref
+        try:
+            obj: Any = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+        except (ImportError, AttributeError):
+            obj = None
+        if callable(obj):
+            # Register under the experiment name so nested lookups
+            # (e.g. a cell running a sub-matrix) resolve consistently.
+            register_cell(experiment, obj)
+            return obj
+    from repro.experiments.registry import _CELLS
+
+    fn = _CELLS.get(experiment)
+    if fn is None:
+        raise KeyError(
+            f"experiment {experiment!r} cannot be resolved in a spawned "
+            f"child: it is not registered by repro.bench and its import "
+            f"reference {fn_ref!r} does not resolve. Register the cell "
+            f"function at module level (importable by name) or run with "
+            f"backend='thread'."
+        )
+    return fn
+
+
+def counter_totals() -> Dict[str, int]:
+    """Current totals of every harvested counter in this process.
+
+    Sweeps the registries of the models cached by ``repro.bench.cache``
+    (where ``encodecache.*`` traffic lands).  Called before and after a
+    cell so the per-cell *delta* can be shipped back — pool workers are
+    reused across cells, so absolute totals would double-count.
+    """
+    totals: Dict[str, int] = {}
+    try:
+        from repro.bench.cache import metric_registries
+    except ImportError:  # pragma: no cover - bench always present here
+        return totals
+    from repro.obs import Counter
+
+    for registry in metric_registries():
+        for metric in registry:
+            if isinstance(metric, Counter) and metric.name.startswith(
+                CHILD_COUNTER_PREFIXES
+            ):
+                totals[metric.name] = totals.get(metric.name, 0) \
+                    + metric.value
+    return totals
+
+
+def counter_deltas(
+    before: Dict[str, int], after: Dict[str, int]
+) -> Dict[str, int]:
+    """Per-cell counter increments (non-positive deltas are dropped)."""
+    deltas: Dict[str, int] = {}
+    for name, total in after.items():
+        delta = total - before.get(name, 0)
+        if delta > 0:
+            deltas[name] = delta
+    return deltas
+
+
+def run_cell(
+    experiment: str,
+    scale: Any,
+    kwargs: Dict[str, Any],
+    fn_ref: FnRef = None,
+) -> Dict[str, Any]:
+    """Execute one planned cell in this (child) process.
+
+    Returns a picklable record the parent turns into a
+    :class:`~repro.experiments.store.CellResult`; the parent remains the
+    only writer of the results store, so resume semantics are identical
+    to the thread backend.
+    """
+    fn = resolve_cell(experiment, fn_ref)
+    before = counter_totals()
+    start = time.perf_counter()
+    result = fn(scale, **kwargs)
+    wall = time.perf_counter() - start
+    payload = dict(result)
+    table = payload.pop("table", "")
+    return {
+        "table": table,
+        "results": jsonable(payload),
+        "wall_seconds": wall,
+        "counters": counter_deltas(before, counter_totals()),
+    }

@@ -376,25 +376,52 @@ class EncodingCache:
         return dataset
 
     def store(self, key: str, dataset: EncodedDataset) -> str:
-        """Atomically persist ``dataset`` under ``key``; returns the path."""
-        os.makedirs(self.directory, exist_ok=True)
+        """Atomically persist ``dataset`` under ``key``; returns the path.
+
+        Safe under concurrent multi-process writers: each writer stages
+        into its own ``mkstemp`` file and publishes with ``os.replace``,
+        so the final path only ever holds a complete file and the last
+        writer wins.  If another process clears the cache directory
+        mid-write (``repro cache clear``), the vanished-directory
+        ``FileNotFoundError`` is retried once against a re-created
+        directory rather than failing the training run.
+        """
         path = self.path(key)
-        fd, tmp = tempfile.mkstemp(
-            prefix=".encoded-", suffix=".npz.tmp", dir=self.directory
-        )
-        try:
-            os.close(fd)
-            dataset.save(tmp)
-            size = os.path.getsize(tmp)
-            os.replace(tmp, path)
-        except BaseException:
+        for attempt in (0, 1):
+            os.makedirs(self.directory, exist_ok=True)
             try:
-                os.remove(tmp)
-            except OSError:
-                pass
-            raise
-        self._bytes_written.inc(size)
-        return path
+                fd, tmp = tempfile.mkstemp(
+                    prefix=".encoded-", suffix=".npz.tmp", dir=self.directory
+                )
+            except FileNotFoundError:
+                if attempt:
+                    raise
+                continue
+            try:
+                os.close(fd)
+                dataset.save(tmp)
+                size = os.path.getsize(tmp)
+                os.replace(tmp, path)
+            except FileNotFoundError:
+                # The directory (tmp file included) vanished under us.
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                if attempt:
+                    raise
+                continue
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+            self._bytes_written.inc(size)
+            return path
+        raise OSError(  # pragma: no cover - loop always returns or raises
+            f"could not persist encoding cache entry {path}"
+        )
 
     def get_or_encode(
         self,

@@ -56,15 +56,25 @@ def workload1(
     queries_per_db: int = 500,
     database_names: Optional[Sequence[str]] = None,
     seed: int = 0,
+    machine: Optional[MachineProfile] = None,
 ) -> Dict[str, PlanDataset]:
-    """Complex queries per database, labels collected on machine M1."""
-    return _workload(M1, queries_per_db, database_names, seed)
+    """Complex queries per database, labels collected on machine M1.
+
+    ``machine`` overrides the collection profile (the experiment
+    matrix's ``machine`` axis threads through here).
+    """
+    return _workload(machine or M1, queries_per_db, database_names, seed)
 
 
 def workload2(
     queries_per_db: int = 500,
     database_names: Optional[Sequence[str]] = None,
     seed: int = 0,
+    machine: Optional[MachineProfile] = None,
 ) -> Dict[str, PlanDataset]:
-    """The same statements as workload 1, labels collected on machine M2."""
-    return _workload(M2, queries_per_db, database_names, seed + 1)
+    """The same statements as workload 1, labels collected on machine M2.
+
+    ``machine`` overrides the collection profile; the across-more
+    protocol only requires that it differ from workload 1's.
+    """
+    return _workload(machine or M2, queries_per_db, database_names, seed + 1)

@@ -169,3 +169,19 @@ class TestCaching:
         a = pretrain_dace(TINY, exclude="imdb")
         b = pretrain_dace(TINY, exclude="imdb", alpha=1.0)
         assert a is not b
+
+
+class TestExpMatrixCell:
+    def test_exp_matrix_tiny(self):
+        """Both backends store the same cells; speedup is reported
+        (but only gated in benchmarks/bench_exp_matrix.py, where the
+        CPU count is checked)."""
+        from repro.bench import exp_matrix
+
+        result = exp_matrix(TINY, n_cells=2, workers=2, n_plans=20)
+        assert "exp matrix fan-out" in result["table"]
+        assert result["serial_failed"] == 0
+        assert result["process_failed"] == 0
+        assert result["identical"]
+        assert result["speedup"] > 0
+        assert result["cpu_count"] >= 1

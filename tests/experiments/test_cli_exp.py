@@ -73,6 +73,32 @@ class TestExpRun:
                   "--results-dir", str(tmp_path)])
 
 
+class TestExpBackend:
+    def test_process_backend_then_thread_resume(self, tmp_path, capsys):
+        """Cells written by the process backend resume under thread."""
+        argv = ["exp", "run", "tiny", "--axis", "gain=1.0,2.0",
+                "--results-dir", str(tmp_path)]
+        assert main(argv + ["--backend", "process", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "(ran 2, skipped 0, failed 0)" in out
+
+        assert main(argv + ["--backend", "thread"]) == 0
+        out = capsys.readouterr().out
+        assert "(ran 0, skipped 2, failed 0)" in out
+
+    def test_timeout_requires_process_backend(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["exp", "run", "tiny", "--results-dir", str(tmp_path),
+                  "--backend", "thread", "--timeout", "5"])
+        assert info.value.code == 2
+        assert "backend='process'" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_argparse(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["exp", "run", "tiny", "--results-dir", str(tmp_path),
+                  "--backend", "fork"])
+
+
 class TestExpReport:
     def test_report_matches_direct_run(self, tmp_path, capsys):
         from repro.bench.config import SMOKE

@@ -1,0 +1,161 @@
+"""`exp diff`: lookup by prefix, keyed comparison, actionable errors."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (
+    CellDiffError,
+    CellResult,
+    ResultsStore,
+    config_id,
+    diff_cells,
+    find_cell,
+    flatten_numeric,
+    format_cell_diff,
+)
+
+
+def make_cell(store: ResultsStore, experiment: str, config: dict,
+              results: dict, table: str = "t") -> CellResult:
+    full = dict(config, experiment=experiment, scale=store.scale)
+    cell = CellResult(
+        config_id=config_id(full),
+        label=f"{experiment}@{store.scale}",
+        experiment=experiment,
+        scale=store.scale,
+        config=full,
+        table=table,
+        results=results,
+        wall_seconds=1.0,
+        created_unix=2.0,
+    )
+    store.save(cell)
+    return cell
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultsStore(root=str(tmp_path), scale="smoke")
+
+
+class TestFlatten:
+    def test_nested_dicts_lists_and_skips(self):
+        flat = flatten_numeric({
+            "qerror": {"median": 1.2, "p95": [3, 4]},
+            "name": "imdb",
+            "ok": True,
+            "count": 7,
+        })
+        assert flat == {
+            "qerror.median": 1.2,
+            "qerror.p95[0]": 3.0,
+            "qerror.p95[1]": 4.0,
+            "count": 7.0,
+        }
+
+    def test_bare_number(self):
+        assert flatten_numeric(5) == {"value": 5.0}
+
+
+class TestFindCell:
+    def test_prefix_lookup(self, store, tmp_path):
+        cell = make_cell(store, "chaos", {"seed": 0}, {"v": 1})
+        found = find_cell(str(tmp_path), cell.config_id[:6])
+        assert found.config_id == cell.config_id
+
+    def test_scale_scoping(self, store, tmp_path):
+        cell = make_cell(store, "chaos", {"seed": 0}, {"v": 1})
+        assert find_cell(
+            str(tmp_path), cell.config_id, scale="smoke"
+        ).config_id == cell.config_id
+        with pytest.raises(CellDiffError, match="no stored cell"):
+            find_cell(str(tmp_path), cell.config_id, scale="default")
+
+    def test_missing_is_actionable(self, tmp_path):
+        with pytest.raises(CellDiffError, match="repro exp ls"):
+            find_cell(str(tmp_path), "deadbeef")
+
+    def test_ambiguous_prefix_lists_candidates(self, store, tmp_path):
+        a = make_cell(store, "chaos", {"seed": 0}, {"v": 1})
+        b = make_cell(store, "chaos", {"seed": 1}, {"v": 2})
+        # Manufacture a shared prefix by renaming one file.
+        shared = a.config_id[:4]
+        forged = shared + b.config_id[4:]
+        os.rename(
+            os.path.join(store.cells_dir, f"{b.config_id}.json"),
+            os.path.join(store.cells_dir, f"{forged}.json"),
+        )
+        with pytest.raises(CellDiffError, match="ambiguous"):
+            find_cell(str(tmp_path), shared)
+
+    def test_corrupt_cell_is_actionable(self, store, tmp_path):
+        cell = make_cell(store, "chaos", {"seed": 0}, {"v": 1})
+        path = os.path.join(store.cells_dir, f"{cell.config_id}.json")
+        payload = json.load(open(path))
+        payload["config"]["seed"] = 999  # hash no longer matches
+        json.dump(payload, open(path, "w"))
+        with pytest.raises(CellDiffError, match="corrupt"):
+            find_cell(str(tmp_path), cell.config_id)
+
+
+class TestDiffCells:
+    def test_changed_and_onesided_metrics(self, store):
+        a = make_cell(
+            store, "chaos", {"seed": 0},
+            {"retries": 5, "shared": 1.0, "only_a": 2}, table="same",
+        )
+        b = make_cell(
+            store, "chaos", {"seed": 1},
+            {"retries": 8, "shared": 1.0, "only_b": 3}, table="same",
+        )
+        diff = diff_cells(a, b)
+        assert diff.config_changes == {"seed": (0, 1)}
+        assert diff.changed_metrics == [("retries", 5.0, 8.0)]
+        assert diff.only_a == ["only_a"]
+        assert diff.only_b == ["only_b"]
+        assert not diff.table_diff
+        assert not diff.identical
+
+        report = format_cell_diff(diff)
+        assert "retries" in report
+        assert "only_a" in report and "only_b" in report
+        assert "tables identical" in report
+
+    def test_identical_cells(self, store):
+        a = make_cell(store, "chaos", {"seed": 0}, {"v": 1}, table="same")
+        diff = diff_cells(a, a)
+        assert diff.identical
+        assert "cells are identical" in format_cell_diff(diff)
+
+    def test_table_diff_rendered(self, store):
+        a = make_cell(store, "chaos", {"seed": 0}, {"v": 1},
+                      table="row one\nrow two")
+        b = make_cell(store, "chaos", {"seed": 1}, {"v": 1},
+                      table="row one\nrow 2")
+        diff = diff_cells(a, b)
+        assert any(line.startswith("-row two") for line in diff.table_diff)
+        assert any(line.startswith("+row 2") for line in diff.table_diff)
+        assert "table diff:" in format_cell_diff(diff)
+
+    def test_experiment_mismatch_refused(self, store):
+        a = make_cell(store, "chaos", {"seed": 0}, {"v": 1})
+        b = make_cell(store, "fig07", {"seed": 0}, {"v": 1})
+        with pytest.raises(CellDiffError, match="different experiments"):
+            diff_cells(a, b)
+
+
+class TestCliDiff:
+    def test_exit_codes(self, store, tmp_path, capsys):
+        from repro.cli import main
+
+        a = make_cell(store, "chaos", {"seed": 0}, {"v": 1}, table="same")
+        b = make_cell(store, "chaos", {"seed": 1}, {"v": 2}, table="same")
+        argv = ["exp", "diff", "--results-dir", str(tmp_path)]
+        assert main(argv + [a.config_id, b.config_id]) == 1
+        assert "metric(s) changed" in capsys.readouterr().out
+        assert main(argv + [a.config_id, a.config_id]) == 0
+        assert "cells are identical" in capsys.readouterr().out
+        assert main(argv + ["feedface", a.config_id]) == 2
+        assert "no stored cell" in capsys.readouterr().err

@@ -1,0 +1,118 @@
+"""EncodingCache under hostile concurrency: multi-process writers and a
+cache directory that vanishes mid-write.
+
+The contract: the published file is always a *complete* ``.npz`` (a
+reader never observes a torn write — last writer wins), and a writer
+whose directory is cleared under it (``repro cache clear`` from another
+process) retries once instead of failing the training run.
+"""
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.workloads.encoded import EncodedDataset, EncodingCache
+
+
+def tiny_dataset() -> EncodedDataset:
+    return EncodedDataset(
+        features=[np.arange(12, dtype=np.float64).reshape(3, 4)],
+        adjacency=[np.eye(3, dtype=bool)],
+        heights=[np.arange(3)],
+        weights=[np.ones(3)],
+        labels=[np.linspace(0.5, 1.5, 3)],
+    )
+
+
+def hammer(directory: str, dataset_path: str, rounds: int) -> int:
+    """One writer process: store/load the same key in a tight loop.
+
+    Returns the number of successful loads; any torn read raises inside
+    ``EncodingCache.load`` only as a silent miss, so the assertion is
+    that every load after the first store yields a valid dataset.
+    """
+    dataset = EncodedDataset.load(dataset_path)
+    cache = EncodingCache(directory=directory)
+    loaded = 0
+    for _ in range(rounds):
+        cache.store("stress-key", dataset)
+        out = cache.load("stress-key")
+        assert out is not None, "published cache file unreadable"
+        np.testing.assert_array_equal(
+            out.features[0], dataset.features[0]
+        )
+        loaded += 1
+    return loaded
+
+
+class TestMultiprocessWriters:
+    def test_concurrent_writers_never_publish_partial(self, tmp_path):
+        dataset = tiny_dataset()
+        dataset_path = str(tmp_path / "seed.npz")
+        dataset.save(dataset_path)
+        directory = str(tmp_path / "cache")
+
+        workers, rounds = 3, 8
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(hammer, directory, dataset_path, rounds)
+                for _ in range(workers)
+            ]
+            assert [f.result(timeout=120) for f in futures] \
+                == [rounds] * workers
+
+        # Last write wins: exactly one complete file remains.
+        cache = EncodingCache(directory=directory)
+        assert [name for name, _size in cache.entries()] \
+            == ["encoded-stress-key.npz"]
+        final = cache.load("stress-key")
+        assert final is not None
+        np.testing.assert_array_equal(
+            final.features[0], dataset.features[0]
+        )
+
+
+class TestVanishedDirectory:
+    def test_store_retries_when_directory_cleared(self, tmp_path,
+                                                  monkeypatch):
+        import shutil
+
+        directory = str(tmp_path / "cache")
+        cache = EncodingCache(directory=directory)
+        dataset = tiny_dataset()
+
+        real_replace = os.replace
+        state = {"raids": 0}
+
+        def raiding_replace(src, dst):
+            if state["raids"] == 0:
+                state["raids"] += 1
+                shutil.rmtree(directory)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", raiding_replace)
+        path = cache.store("key", dataset)
+        assert state["raids"] == 1
+        assert os.path.exists(path)
+        assert cache.load("key") is not None
+
+    def test_store_gives_up_after_second_raid(self, tmp_path, monkeypatch):
+        import shutil
+
+        directory = str(tmp_path / "cache")
+        cache = EncodingCache(directory=directory)
+        dataset = tiny_dataset()
+
+        def always_raid(src, dst):
+            shutil.rmtree(directory, ignore_errors=True)
+            raise FileNotFoundError(dst)
+
+        monkeypatch.setattr(os, "replace", always_raid)
+        with pytest.raises(FileNotFoundError):
+            cache.store("key", dataset)
